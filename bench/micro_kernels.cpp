@@ -1,0 +1,172 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the paper's
+// §3 cost table: k-mer rank computation, pairwise DP, profile alignment,
+// guide-tree construction, and the communication runtime. These back the
+// per-stage constants of the cluster cost model.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "align/banded.hpp"
+#include "align/global.hpp"
+#include "align/local.hpp"
+#include "core/partition.hpp"
+#include "kmer/kmer_rank.hpp"
+#include "msa/guide_tree.hpp"
+#include "msa/muscle_like.hpp"
+#include "msa/profile.hpp"
+#include "msa/profile_align.hpp"
+#include "par/cluster.hpp"
+#include "util/rng.hpp"
+#include "workload/rose.hpp"
+
+namespace {
+
+using namespace salign;
+
+std::vector<bio::Sequence> seqs_cache(std::size_t n, std::size_t len) {
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  std::vector<bio::Sequence>>
+      cache;
+  auto& slot = cache[{n, len}];
+  if (slot.empty())
+    slot = workload::rose_sequences(
+        {.num_sequences = n, .average_length = len, .relatedness = 700,
+         .seed = 1});
+  return slot;
+}
+
+void BM_KmerProfileBuild(benchmark::State& state) {
+  const auto seqs = seqs_cache(64, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& s : seqs)
+      benchmark::DoNotOptimize(
+          kmer::KmerProfile::from_sequence(s, kmer::KmerParams{}));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_KmerProfileBuild)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_KmerRankCentralized(benchmark::State& state) {
+  const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 300);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kmer::centralized_ranks(seqs, {}));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KmerRankCentralized)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_GlobalAlign(benchmark::State& state) {
+  const auto seqs = seqs_cache(2, static_cast<std::size_t>(state.range(0)));
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        align::global_align(seqs[0].codes(), seqs[1].codes(), m, {}));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GlobalAlign)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_BandedAlign(benchmark::State& state) {
+  const auto seqs = seqs_cache(2, 400);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(align::banded_global_align(
+        seqs[0].codes(), seqs[1].codes(), m, {},
+        static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_BandedAlign)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LocalAlign(benchmark::State& state) {
+  const auto seqs = seqs_cache(2, static_cast<std::size_t>(state.range(0)));
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        align::local_align(seqs[0].codes(), seqs[1].codes(), m, {}));
+}
+BENCHMARK(BM_LocalAlign)->Arg(100)->Arg(300);
+
+void BM_ProfileAlign(benchmark::State& state) {
+  const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 200);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const std::size_t half = seqs.size() / 2;
+  const msa::MuscleAligner aligner;
+  const msa::Alignment left = aligner.align(
+      std::span<const bio::Sequence>(seqs.data(), half));
+  const msa::Alignment right = aligner.align(
+      std::span<const bio::Sequence>(seqs.data() + half, seqs.size() - half));
+  const msa::Profile pl(left, m);
+  const msa::Profile pr(right, m);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(msa::align_profiles(pl, pr));
+}
+BENCHMARK(BM_ProfileAlign)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_UpgmaBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  util::SymmetricMatrix<double> d(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) d(i, j) = rng.uniform(0.01, 2.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(msa::GuideTree::upgma(d));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UpgmaBuild)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void BM_MiniMuscleEndToEnd(benchmark::State& state) {
+  const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 150);
+  const msa::MuscleAligner aligner;
+  for (auto _ : state) benchmark::DoNotOptimize(aligner.align(seqs));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MiniMuscleEndToEnd)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_CommAllToAll(benchmark::State& state) {
+  const int p = 8;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    par::Cluster cluster(p);
+    cluster.run([&](par::Communicator& comm) {
+      std::vector<par::Bytes> out(p, par::Bytes(bytes, 0x5A));
+      benchmark::DoNotOptimize(comm.all_to_all(std::move(out)));
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * p * (p - 1) * bytes);
+}
+BENCHMARK(BM_CommAllToAll)->Arg(1024)->Arg(65536);
+
+void BM_CommBroadcast(benchmark::State& state) {
+  const int p = 8;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    par::Cluster cluster(p);
+    cluster.run([&](par::Communicator& comm) {
+      par::Bytes payload;
+      if (comm.rank() == 0) payload.assign(bytes, 0x5A);
+      benchmark::DoNotOptimize(comm.broadcast(0, std::move(payload)));
+    });
+  }
+}
+BENCHMARK(BM_CommBroadcast)->Arg(1024)->Arg(65536);
+
+void BM_PsrsPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::vector<double> keys(n);
+  for (auto& k : keys) k = rng.uniform(0, 1);
+  std::vector<double> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (auto _ : state) {
+    const auto samples = core::regular_samples(sorted, 15);
+    auto pivots = core::choose_pivots(
+        std::vector<double>(samples.begin(), samples.end()), 16);
+    benchmark::DoNotOptimize(core::bucket_histogram(keys, pivots));
+  }
+}
+BENCHMARK(BM_PsrsPartition)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,210 @@
+// Static vs dynamic scheduling of per-bucket alignment work.
+//
+// The paper's load-balancing argument (§3) is statistical: regular sampling
+// bounds every bucket to <= 2N/p sequences, so a *static* partition is close
+// to balanced when per-sequence cost is uniform. When per-item cost is
+// skewed (mixed family sizes / lengths), a master-worker loop that hands out
+// work on demand can beat any static split. This example runs both schedules
+// over the same heterogeneous PREFAB-style cases on the message-passing
+// runtime and reports per-worker busy time and imbalance.
+//
+// It is also the showcase for the runtime's MPI_ANY_SOURCE-style primitive:
+// the master serves whichever worker reports idle first via recv_any().
+//
+// Usage: dynamic_load_balance [num_cases] [num_procs]   (default 12 5)
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "msa/muscle_like.hpp"
+#include "par/cluster.hpp"
+#include "par/comm.hpp"
+#include "par/serialize.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workload/prefab.hpp"
+
+namespace {
+
+using namespace salign;
+
+constexpr int kTagWork = 1;  // master -> worker: u8 has_work + sequences
+constexpr int kTagIdle = 2;  // worker -> master: ready for the next case
+constexpr int kTagBusy = 3;  // worker -> master: final busy-seconds report
+
+par::Bytes pack_case(const workload::PrefabCase& c) {
+  par::ByteWriter w;
+  w.u8(1);
+  par::write_sequences(w, c.sequences);
+  return w.take();
+}
+
+par::Bytes pack_stop() {
+  par::ByteWriter w;
+  w.u8(0);
+  return w.take();
+}
+
+/// Worker loop shared by both schedules: consume kTagWork messages until the
+/// stop marker, align each case, then report accumulated busy seconds.
+void run_worker(par::Communicator& comm) {
+  const msa::MuscleAligner aligner;
+  double busy = 0.0;
+  for (;;) {
+    par::ByteReader r(comm.recv(0, kTagWork));
+    if (r.u8() == 0) break;
+    const std::vector<bio::Sequence> seqs = par::read_sequences(r);
+    util::ThreadCpuTimer cpu;
+    (void)aligner.align(seqs);
+    busy += cpu.seconds();
+  }
+  par::ByteWriter w;
+  w.f64(busy);
+  comm.send(0, kTagBusy, w.take());
+}
+
+std::vector<double> collect_busy(par::Communicator& comm, int workers) {
+  std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+  for (int i = 0; i < workers; ++i) {
+    auto [src, payload] = comm.recv_any(kTagBusy);
+    par::ByteReader r(std::move(payload));
+    busy[static_cast<std::size_t>(src - 1)] = r.f64();
+  }
+  return busy;
+}
+
+/// Static schedule: case i is pre-assigned to worker (i % workers), the
+/// whole stream is pushed up front, and the master never hears back until
+/// the busy reports arrive.
+std::vector<double> run_static(par::Cluster& cluster,
+                               const std::vector<workload::PrefabCase>& cases,
+                               int workers) {
+  std::vector<double> busy;
+  cluster.run([&](par::Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < cases.size(); ++i)
+        comm.send(1 + static_cast<int>(i % static_cast<std::size_t>(workers)),
+                  kTagWork, pack_case(cases[i]));
+      for (int w = 1; w <= workers; ++w) comm.send(w, kTagWork, pack_stop());
+      busy = collect_busy(comm, workers);
+    } else {
+      run_worker(comm);
+    }
+  });
+  return busy;
+}
+
+/// Dynamic schedule: workers announce idleness; the master serves whichever
+/// request arrives first (recv_any), so expensive cases stop gating the
+/// queue behind a fixed assignment.
+std::vector<double> run_dynamic(par::Cluster& cluster,
+                                const std::vector<workload::PrefabCase>& cases,
+                                int workers) {
+  std::vector<double> busy;
+  cluster.run([&](par::Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::size_t next = 0;
+      int stopped = 0;
+      while (stopped < workers) {
+        auto [src, payload] = comm.recv_any(kTagIdle);
+        if (next < cases.size()) {
+          comm.send(src, kTagWork, pack_case(cases[next++]));
+        } else {
+          comm.send(src, kTagWork, pack_stop());
+          ++stopped;
+        }
+      }
+      busy = collect_busy(comm, workers);
+    } else {
+      // Announce idleness once up front and after every finished case.
+      const msa::MuscleAligner aligner;
+      double total = 0.0;
+      for (;;) {
+        comm.send(0, kTagIdle, {});
+        par::ByteReader r(comm.recv(0, kTagWork));
+        if (r.u8() == 0) break;
+        const std::vector<bio::Sequence> seqs = par::read_sequences(r);
+        util::ThreadCpuTimer cpu;
+        (void)aligner.align(seqs);
+        total += cpu.seconds();
+      }
+      par::ByteWriter w;
+      w.f64(total);
+      comm.send(0, kTagBusy, w.take());
+    }
+  });
+  return busy;
+}
+
+void report(const char* name, const std::vector<double>& busy) {
+  double max = 0.0;
+  double sum = 0.0;
+  for (double b : busy) {
+    max = max < b ? b : max;
+    sum += b;
+  }
+  const double mean = sum / static_cast<double>(busy.size());
+  std::printf("%-8s makespan %.3f s  mean %.3f s  imbalance %.2fx  (", name,
+              max, mean, mean > 0 ? max / mean : 1.0);
+  for (std::size_t i = 0; i < busy.size(); ++i)
+    std::printf("%s%.3f", i ? " " : "", busy[i]);
+  std::printf(")\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_cases =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 12;
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 5;
+  if (procs < 2 || num_cases == 0) {
+    std::fprintf(stderr, "need >= 2 procs (1 master + workers), >= 1 case\n");
+    return 1;
+  }
+  const int workers = procs - 1;
+
+  // Heterogeneous mix: interleave small/cheap and large/expensive cases so a
+  // round-robin static split clumps cost onto some workers.
+  workload::PrefabParams small;
+  small.num_cases = (num_cases + 1) / 2;
+  small.min_sequences = 20;
+  small.max_sequences = 22;
+  small.min_length = 60;
+  small.max_length = 90;
+  small.seed = 11;
+  workload::PrefabParams large;
+  large.num_cases = num_cases / 2;
+  large.min_sequences = 26;
+  large.max_sequences = 30;
+  large.min_length = 200;
+  large.max_length = 320;
+  large.seed = 12;
+  const auto cheap = workload::prefab_cases(small);
+  const auto costly = workload::prefab_cases(large);
+  std::vector<workload::PrefabCase> cases;
+  for (std::size_t i = 0; i < num_cases; ++i) {
+    const auto& src = (i % 2 == 0) ? cheap : costly;
+    cases.push_back(src[(i / 2) % src.size()]);
+  }
+  std::printf("%zu cases (alternating ~%zux%zu and ~%zux%zu residues), "
+              "%d workers + 1 master\n\n",
+              cases.size(), small.max_sequences, small.max_length,
+              large.max_sequences, large.max_length, workers);
+
+  par::Cluster cluster(procs);
+  const std::vector<double> stat = run_static(cluster, cases, workers);
+  const std::vector<double> dyn = run_dynamic(cluster, cases, workers);
+  report("static", stat);
+  report("dynamic", dyn);
+  std::printf(
+      "\nstatic round-robin pins case i to worker i %% %d, so alternating\n"
+      "costs stack the expensive cases onto the same workers; the dynamic\n"
+      "master serves recv_any() requests greedily, which levels busy time.\n"
+      "Sample-Align-D itself keeps the static PSRS split (uniform\n"
+      "per-sequence cost, <= 2N/p bound) — this example is the counterpoint\n"
+      "for skewed per-item cost.\n",
+      workers);
+  return 0;
+}

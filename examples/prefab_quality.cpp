@@ -1,0 +1,76 @@
+// Quality assessment on PREFAB-style reference sets (the paper's §4.1):
+// aligns each case with Sample-Align-D and the sequential comparators,
+// scoring Q (correctly aligned residue pairs / reference pairs) per case.
+//
+// Usage: prefab_quality [num_cases]   (default 6)
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/sample_align_d.hpp"
+#include "msa/clustalw_like.hpp"
+#include "msa/muscle_like.hpp"
+#include "msa/scoring.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/prefab.hpp"
+
+int main(int argc, char** argv) {
+  using namespace salign;
+  const std::size_t cases_n =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 6;
+
+  workload::PrefabParams pp;
+  pp.num_cases = cases_n;
+  pp.min_length = 100;
+  pp.max_length = 240;
+  const auto cases = workload::prefab_cases(pp);
+  std::printf("%zu PREFAB-style cases (20-30 sequences, exact-history "
+              "references)\n\n",
+              cases.size());
+
+  using Fn = std::function<msa::Alignment(std::span<const bio::Sequence>)>;
+  core::SampleAlignDConfig sad;
+  sad.num_procs = 4;
+  const std::vector<std::pair<const char*, Fn>> methods{
+      {"Sample-Align-D(p=4)",
+       [&](std::span<const bio::Sequence> s) {
+         return core::SampleAlignD(sad).align(s);
+       }},
+      {"MiniMuscle",
+       [](std::span<const bio::Sequence> s) {
+         return msa::MuscleAligner().align(s);
+       }},
+      {"MiniClustal",
+       [](std::span<const bio::Sequence> s) {
+         return msa::ClustalWAligner().align(s);
+       }},
+  };
+
+  util::Table t({"case", "divergence", "Sample-Align-D(p=4)", "MiniMuscle",
+                 "MiniClustal"});
+  std::vector<util::RunningStats> means(methods.size());
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    std::vector<std::string> row{std::to_string(c),
+                                 util::fmt("%.2f", cases[c].divergence)};
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const double q = msa::q_score(methods[m].second(cases[c].sequences),
+                                    cases[c].reference);
+      means[m].add(q);
+      row.push_back(util::fmt("%.3f", q));
+    }
+    t.add_row(std::move(row));
+  }
+  t.add_row({"mean", "-", util::fmt("%.3f", means[0].mean()),
+             util::fmt("%.3f", means[1].mean()),
+             util::fmt("%.3f", means[2].mean())});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("expected pattern (paper Table 2): the distributed pipeline "
+              "trails its sequential aligner slightly on such small sets — "
+              "partitioning 20-30 sequences over 4 processors is \"too fine "
+              "grain\" — while staying near CLUSTALW.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "align/pairwise.hpp"
+
+namespace salign::align {
+
+/// Global affine-gap alignment restricted to a diagonal band of half-width
+/// `band` around the main diagonal (suitably sheared for unequal lengths).
+/// Falls back to an exact result when the band covers the full table.
+///
+/// The MAFFT-style aligner uses this after FFT anchoring: once candidate
+/// segment offsets are known, a narrow band suffices and the DP cost drops
+/// from O(L^2) to O(L·band).
+[[nodiscard]] PairwiseAlignment banded_global_align(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+    const bio::SubstitutionMatrix& matrix, bio::GapPenalties gaps,
+    std::size_t band);
+
+}  // namespace salign::align

@@ -1,0 +1,50 @@
+#include "align/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "align/global.hpp"
+
+namespace salign::align {
+
+double fractional_identity(std::span<const std::uint8_t> a,
+                           std::span<const std::uint8_t> b,
+                           std::span<const EditOp> ops) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t matches = 0;
+  std::size_t cols = 0;
+  for (EditOp op : ops) {
+    switch (op) {
+      case EditOp::Match:
+        ++cols;
+        if (a[i] == b[j]) ++matches;
+        ++i;
+        ++j;
+        break;
+      case EditOp::GapInA: ++j; break;
+      case EditOp::GapInB: ++i; break;
+    }
+  }
+  return cols == 0 ? 0.0
+                   : static_cast<double>(matches) / static_cast<double>(cols);
+}
+
+double kimura_distance(double fractional_identity) {
+  const double d = std::clamp(1.0 - fractional_identity, 0.0, 1.0);
+  const double arg = 1.0 - d - d * d / 5.0;
+  // Saturation guard: identities below ~25% drive the log argument to 0.
+  constexpr double kMaxDistance = 5.0;
+  if (arg <= std::exp(-kMaxDistance)) return kMaxDistance;
+  return -std::log(arg);
+}
+
+double alignment_distance(std::span<const std::uint8_t> a,
+                          std::span<const std::uint8_t> b,
+                          const bio::SubstitutionMatrix& matrix,
+                          bio::GapPenalties gaps) {
+  const PairwiseAlignment aln = global_align(a, b, matrix, gaps);
+  return kimura_distance(fractional_identity(a, b, aln.ops));
+}
+
+}  // namespace salign::align

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+
+#include "align/pairwise.hpp"
+
+namespace salign::align {
+
+/// Fraction of alignment match columns whose residues are identical,
+/// over the number of match columns (gap columns excluded). Returns 0 for
+/// paths with no match column.
+[[nodiscard]] double fractional_identity(std::span<const std::uint8_t> a,
+                                         std::span<const std::uint8_t> b,
+                                         std::span<const EditOp> ops);
+
+/// Kimura's (1983) correction of fractional identity into an evolutionary
+/// distance: D = 1 - identity, d = -ln(1 - D - D^2/5). CLUSTALW uses this
+/// transform for its guide-tree distances; saturates (and is clamped) for
+/// identity below ~25%.
+[[nodiscard]] double kimura_distance(double fractional_identity);
+
+/// Convenience: globally aligns and returns the Kimura distance. This is
+/// the O(L^2) "accurate" distance of the CLUSTALW-style baseline.
+[[nodiscard]] double alignment_distance(std::span<const std::uint8_t> a,
+                                        std::span<const std::uint8_t> b,
+                                        const bio::SubstitutionMatrix& matrix,
+                                        bio::GapPenalties gaps);
+
+}  // namespace salign::align

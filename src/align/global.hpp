@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "align/pairwise.hpp"
+
+namespace salign::align {
+
+/// Global alignment with affine gaps (Needleman–Wunsch with Gotoh's
+/// three-state recurrence). Terminal gaps are penalized like internal ones.
+///
+/// Time O(|a|·|b|), space O(|a|·|b|) for the packed traceback plus O(|b|)
+/// rolling score rows. This is the workhorse under the CLUSTALW-style
+/// distance pass and the T-Coffee primary library.
+[[nodiscard]] PairwiseAlignment global_align(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+    const bio::SubstitutionMatrix& matrix, bio::GapPenalties gaps);
+
+}  // namespace salign::align

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "align/pairwise.hpp"
+
+namespace salign::align {
+
+/// Local alignment with affine gaps (Smith–Waterman / Gotoh). Returns the
+/// best-scoring local path and its start offsets; an empty path (score 0)
+/// means no positive-scoring region exists.
+///
+/// Sample-Align-D itself aligns globally, but the divide-and-conquer
+/// baselines the paper discusses ([22]) are Smith–Waterman based, and the
+/// T-Coffee library uses local anchors; this kernel serves both.
+[[nodiscard]] LocalAlignment local_align(std::span<const std::uint8_t> a,
+                                         std::span<const std::uint8_t> b,
+                                         const bio::SubstitutionMatrix& matrix,
+                                         bio::GapPenalties gaps);
+
+}  // namespace salign::align

@@ -1,0 +1,99 @@
+#include "align/pairwise.hpp"
+
+#include <stdexcept>
+
+namespace salign::align {
+
+std::size_t PairwiseAlignment::a_consumed() const {
+  std::size_t n = 0;
+  for (EditOp op : ops)
+    if (op != EditOp::GapInA) ++n;
+  return n;
+}
+
+std::size_t PairwiseAlignment::b_consumed() const {
+  std::size_t n = 0;
+  for (EditOp op : ops)
+    if (op != EditOp::GapInB) ++n;
+  return n;
+}
+
+float score_path(std::span<const std::uint8_t> a,
+                 std::span<const std::uint8_t> b,
+                 std::span<const EditOp> ops,
+                 const bio::SubstitutionMatrix& matrix,
+                 bio::GapPenalties gaps) {
+  float score = 0.0F;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  EditOp prev = EditOp::Match;
+  bool first = true;
+  for (EditOp op : ops) {
+    switch (op) {
+      case EditOp::Match:
+        if (i >= a.size() || j >= b.size())
+          throw std::invalid_argument("score_path: path overruns inputs");
+        score += matrix.score(a[i], b[j]);
+        ++i;
+        ++j;
+        break;
+      case EditOp::GapInA:
+        if (j >= b.size())
+          throw std::invalid_argument("score_path: path overruns input B");
+        score -= (!first && prev == EditOp::GapInA) ? gaps.extend : gaps.open;
+        ++j;
+        break;
+      case EditOp::GapInB:
+        if (i >= a.size())
+          throw std::invalid_argument("score_path: path overruns input A");
+        score -= (!first && prev == EditOp::GapInB) ? gaps.extend : gaps.open;
+        ++i;
+        break;
+    }
+    prev = op;
+    first = false;
+  }
+  return score;
+}
+
+std::pair<std::string, std::string> render_path(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+    std::span<const EditOp> ops, const bio::Alphabet& alpha) {
+  std::string ra;
+  std::string rb;
+  ra.reserve(ops.size());
+  rb.reserve(ops.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (EditOp op : ops) {
+    switch (op) {
+      case EditOp::Match:
+        ra.push_back(alpha.decode(a[i++]));
+        rb.push_back(alpha.decode(b[j++]));
+        break;
+      case EditOp::GapInA:
+        ra.push_back('-');
+        rb.push_back(alpha.decode(b[j++]));
+        break;
+      case EditOp::GapInB:
+        ra.push_back(alpha.decode(a[i++]));
+        rb.push_back('-');
+        break;
+    }
+  }
+  return {std::move(ra), std::move(rb)};
+}
+
+void validate_global_path(std::span<const EditOp> ops, std::size_t a_len,
+                          std::size_t b_len) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (EditOp op : ops) {
+    if (op != EditOp::GapInA) ++i;
+    if (op != EditOp::GapInB) ++j;
+  }
+  if (i != a_len || j != b_len)
+    throw std::invalid_argument("global path does not consume both inputs");
+}
+
+}  // namespace salign::align

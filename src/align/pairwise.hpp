@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bio/substitution_matrix.hpp"
+
+namespace salign::align {
+
+/// One column of a pairwise alignment path.
+enum class EditOp : std::uint8_t {
+  Match,   ///< consumes one residue of A and one of B (match or mismatch)
+  GapInA,  ///< consumes one residue of B; gap character in A
+  GapInB,  ///< consumes one residue of A; gap character in B
+};
+
+/// A scored pairwise alignment path. `ops` runs from the first column to the
+/// last; for global alignments it consumes both inputs completely.
+struct PairwiseAlignment {
+  float score = 0.0F;
+  std::vector<EditOp> ops;
+
+  [[nodiscard]] std::size_t columns() const { return ops.size(); }
+  /// Number of residues of A / of B consumed by the path.
+  [[nodiscard]] std::size_t a_consumed() const;
+  [[nodiscard]] std::size_t b_consumed() const;
+};
+
+/// A local (Smith–Waterman) alignment adds the start offsets of the aligned
+/// region in each input.
+struct LocalAlignment : PairwiseAlignment {
+  std::size_t a_begin = 0;
+  std::size_t b_begin = 0;
+};
+
+/// Recomputes the affine-gap score of a path (validation / testing oracle).
+[[nodiscard]] float score_path(std::span<const std::uint8_t> a,
+                               std::span<const std::uint8_t> b,
+                               std::span<const EditOp> ops,
+                               const bio::SubstitutionMatrix& matrix,
+                               bio::GapPenalties gaps);
+
+/// Renders the two gapped rows of a path ('-' for gaps) for display/tests.
+[[nodiscard]] std::pair<std::string, std::string> render_path(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+    std::span<const EditOp> ops, const bio::Alphabet& alpha);
+
+/// Validates that `ops` consumes exactly |a| and |b| residues; throws
+/// std::invalid_argument otherwise.
+void validate_global_path(std::span<const EditOp> ops, std::size_t a_len,
+                          std::size_t b_len);
+
+}  // namespace salign::align

@@ -1,0 +1,121 @@
+#include "bio/alphabet.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace salign::bio {
+
+namespace {
+// NCBI standard residue order; the matrices in substitution_matrix.cpp use
+// this same order.
+constexpr std::string_view kAminoLetters = "ARNDCQEGHILKMFPSTWYVX";
+constexpr std::string_view kDnaLetters = "ACGTN";
+// One canonical representative per compressed group, wildcard last.
+// Groups: A C D (EQ) (FY) G H (ILV) (KR) M N P (ST) W  -> 14 letters + X.
+constexpr std::string_view kCompressedLetters = "ACDEFGHIKMNPSWX";
+}  // namespace
+
+Alphabet::Alphabet(AlphabetKind kind, std::string name,
+                   std::string_view letters_in_order)
+    : kind_(kind), name_(std::move(name)) {
+  size_ = static_cast<int>(letters_in_order.size());
+  to_code_.fill(wildcard());
+  valid_.fill(false);
+  for (int i = 0; i < size_; ++i) {
+    const char c = letters_in_order[static_cast<std::size_t>(i)];
+    from_code_[static_cast<std::size_t>(i)] = c;
+    to_code_[static_cast<unsigned char>(c)] = static_cast<std::uint8_t>(i);
+    to_code_[static_cast<unsigned char>(
+        std::tolower(static_cast<unsigned char>(c)))] =
+        static_cast<std::uint8_t>(i);
+    valid_[static_cast<unsigned char>(c)] = true;
+    valid_[static_cast<unsigned char>(
+        std::tolower(static_cast<unsigned char>(c)))] = true;
+  }
+}
+
+void Alphabet::add_alias(char alias, char canonical) {
+  const std::uint8_t code = to_code_[static_cast<unsigned char>(canonical)];
+  to_code_[static_cast<unsigned char>(alias)] = code;
+  to_code_[static_cast<unsigned char>(
+      std::tolower(static_cast<unsigned char>(alias)))] = code;
+  valid_[static_cast<unsigned char>(alias)] = true;
+  valid_[static_cast<unsigned char>(
+      std::tolower(static_cast<unsigned char>(alias)))] = true;
+}
+
+void Alphabet::build_compression_map() {
+  const Alphabet& aa = amino_acid();
+  auto group_of = [](char c) -> char {
+    switch (c) {
+      case 'Q': return 'E';
+      case 'Y': return 'F';
+      case 'L':
+      case 'V': return 'I';
+      case 'R': return 'K';
+      case 'T': return 'S';
+      default:  return c;
+    }
+  };
+  for (int i = 0; i < aa.size(); ++i) {
+    const char c = aa.decode(static_cast<std::uint8_t>(i));
+    amino_to_compressed_[static_cast<std::size_t>(i)] =
+        to_code_[static_cast<unsigned char>(group_of(c))];
+  }
+}
+
+std::uint8_t Alphabet::compress_amino(std::uint8_t aa_code) const {
+  if (kind_ != AlphabetKind::Compressed14)
+    throw std::logic_error("compress_amino on non-compressed alphabet");
+  return amino_to_compressed_[aa_code];
+}
+
+const Alphabet& Alphabet::amino_acid() {
+  static const Alphabet a = [] {
+    Alphabet x(AlphabetKind::AminoAcid, "amino-acid", kAminoLetters);
+    // Common ambiguity/rare codes, mapped to their usual stand-ins.
+    x.add_alias('B', 'D');  // Asx -> Asp
+    x.add_alias('Z', 'E');  // Glx -> Glu
+    x.add_alias('J', 'L');  // Xle -> Leu
+    x.add_alias('U', 'C');  // Sec -> Cys
+    x.add_alias('O', 'K');  // Pyl -> Lys
+    x.add_alias('*', 'X');  // stop -> unknown
+    return x;
+  }();
+  return a;
+}
+
+const Alphabet& Alphabet::dna() {
+  static const Alphabet a = [] {
+    Alphabet x(AlphabetKind::Dna, "dna", kDnaLetters);
+    x.add_alias('U', 'T');
+    return x;
+  }();
+  return a;
+}
+
+const Alphabet& Alphabet::compressed14() {
+  static const Alphabet a = [] {
+    Alphabet x(AlphabetKind::Compressed14, "compressed-14", kCompressedLetters);
+    x.add_alias('Q', 'E');
+    x.add_alias('Y', 'F');
+    x.add_alias('L', 'I');
+    x.add_alias('V', 'I');
+    x.add_alias('R', 'K');
+    x.add_alias('T', 'S');
+    x.build_compression_map();
+    return x;
+  }();
+  return a;
+}
+
+const Alphabet& Alphabet::get(AlphabetKind kind) {
+  switch (kind) {
+    case AlphabetKind::AminoAcid: return amino_acid();
+    case AlphabetKind::Dna: return dna();
+    case AlphabetKind::Compressed14: return compressed14();
+  }
+  throw std::logic_error("unknown AlphabetKind");
+}
+
+}  // namespace salign::bio

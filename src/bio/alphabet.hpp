@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace salign::bio {
+
+/// Identifies the built-in alphabets; Sequence stores one of these so that
+/// copies stay trivially cheap (no shared_ptr per sequence).
+enum class AlphabetKind : std::uint8_t {
+  AminoAcid,     ///< 20 standard residues + X (unknown), NCBI order.
+  Dna,           ///< A C G T + N.
+  Compressed14,  ///< SE-B(14)-style compressed amino-acid alphabet.
+};
+
+/// Immutable residue alphabet: maps characters to small integer codes and
+/// back. Invalid characters map to the wildcard code (the last code).
+///
+/// The compressed 14-letter alphabet follows Edgar (NAR 2004, "Local homology
+/// recognition ... using compressed amino acid alphabets"): k-mer counting on
+/// a reduced alphabet keeps sensitivity while shrinking the k-mer space.
+/// Groups: {A} {C} {D} {E,Q} {F,Y} {G} {H} {I,L,V} {K,R} {M} {N} {P} {S,T}
+/// {W}; the wildcard X is code 14.
+class Alphabet {
+ public:
+  static const Alphabet& amino_acid();
+  static const Alphabet& dna();
+  static const Alphabet& compressed14();
+  static const Alphabet& get(AlphabetKind kind);
+
+  /// Number of codes including the wildcard.
+  [[nodiscard]] int size() const { return size_; }
+  /// Number of "real" letters (wildcard excluded).
+  [[nodiscard]] int letters() const { return size_ - 1; }
+  [[nodiscard]] std::uint8_t wildcard() const {
+    return static_cast<std::uint8_t>(size_ - 1);
+  }
+  [[nodiscard]] AlphabetKind kind() const { return kind_; }
+  [[nodiscard]] std::string_view name() const { return name_; }
+
+  /// Case-insensitive char -> code; unknown characters become the wildcard.
+  [[nodiscard]] std::uint8_t encode(char c) const {
+    return to_code_[static_cast<unsigned char>(c)];
+  }
+  /// code -> canonical (uppercase) character.
+  [[nodiscard]] char decode(std::uint8_t code) const {
+    return code < size_ ? from_code_[code] : '?';
+  }
+  /// True if `c` is a letter of this alphabet (wildcard counts as valid).
+  [[nodiscard]] bool valid(char c) const {
+    return valid_[static_cast<unsigned char>(c)];
+  }
+
+  /// Re-encodes an amino-acid code into the compressed14 alphabet.
+  /// Precondition: this->kind() == AlphabetKind::Compressed14.
+  [[nodiscard]] std::uint8_t compress_amino(std::uint8_t aa_code) const;
+
+ private:
+  Alphabet(AlphabetKind kind, std::string name, std::string_view letters_in_order);
+
+  AlphabetKind kind_;
+  std::string name_;
+  int size_ = 0;
+  std::array<std::uint8_t, 256> to_code_{};
+  std::array<char, 32> from_code_{};
+  std::array<bool, 256> valid_{};
+  std::array<std::uint8_t, 32> amino_to_compressed_{};
+
+  void add_alias(char alias, char canonical);
+  void build_compression_map();
+};
+
+}  // namespace salign::bio

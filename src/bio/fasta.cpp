@@ -1,0 +1,89 @@
+#include "bio/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace salign::bio {
+
+namespace {
+
+void finish_record(std::vector<Sequence>& out, std::string& id,
+                   std::string& residues, AlphabetKind kind, bool have_record) {
+  if (!have_record) return;
+  if (id.empty()) throw std::runtime_error("FASTA: record with empty id");
+  out.emplace_back(std::move(id), residues, kind);
+  id.clear();
+  residues.clear();
+}
+
+}  // namespace
+
+std::vector<Sequence> read_fasta(std::istream& in, AlphabetKind kind) {
+  std::vector<Sequence> out;
+  std::string line;
+  std::string id;
+  std::string residues;
+  bool have_record = false;
+
+  while (std::getline(in, line)) {
+    const std::string_view t = util::trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '>') {
+      finish_record(out, id, residues, kind, have_record);
+      have_record = true;
+      const std::string_view header = util::trim(t.substr(1));
+      const std::size_t sp = header.find_first_of(" \t");
+      id = std::string(sp == std::string_view::npos ? header
+                                                    : header.substr(0, sp));
+    } else {
+      if (!have_record)
+        throw std::runtime_error("FASTA: residue data before first header");
+      for (char c : t) {
+        if (c == '-' || c == '.')
+          throw std::runtime_error(
+              "FASTA: gap character in unaligned input (record '" + id + "')");
+        residues.push_back(c);
+      }
+    }
+  }
+  finish_record(out, id, residues, kind, have_record);
+  return out;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      AlphabetKind kind) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  return read_fasta(in, kind);
+}
+
+std::vector<Sequence> parse_fasta(const std::string& text, AlphabetKind kind) {
+  std::istringstream in(text);
+  return read_fasta(in, kind);
+}
+
+void write_fasta(std::ostream& out, std::span<const Sequence> seqs,
+                 std::size_t width) {
+  if (width == 0) throw std::invalid_argument("write_fasta: width must be > 0");
+  for (const Sequence& s : seqs) {
+    out << '>' << s.id() << '\n';
+    const std::string text = s.text();
+    for (std::size_t i = 0; i < text.size(); i += width)
+      out << text.substr(i, width) << '\n';
+    if (text.empty()) out << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path, std::span<const Sequence> seqs,
+                      std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open FASTA file for write: " + path);
+  write_fasta(out, seqs, width);
+}
+
+}  // namespace salign::bio

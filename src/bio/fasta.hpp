@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace salign::bio {
+
+/// Reads all FASTA records from a stream. Header lines start with '>'; the
+/// first whitespace-separated token becomes the id. Lines are concatenated;
+/// gap characters ('-', '.') are rejected — aligned FASTA goes through
+/// msa::read_aligned_fasta instead.
+[[nodiscard]] std::vector<Sequence> read_fasta(
+    std::istream& in, AlphabetKind kind = AlphabetKind::AminoAcid);
+
+/// Convenience wrapper over a file path; throws std::runtime_error when the
+/// file cannot be opened.
+[[nodiscard]] std::vector<Sequence> read_fasta_file(
+    const std::string& path, AlphabetKind kind = AlphabetKind::AminoAcid);
+
+/// Parses FASTA from an in-memory string (test fixtures).
+[[nodiscard]] std::vector<Sequence> parse_fasta(
+    const std::string& text, AlphabetKind kind = AlphabetKind::AminoAcid);
+
+/// Writes records wrapping residue lines at `width` columns.
+void write_fasta(std::ostream& out, std::span<const Sequence> seqs,
+                 std::size_t width = 60);
+
+void write_fasta_file(const std::string& path, std::span<const Sequence> seqs,
+                      std::size_t width = 60);
+
+}  // namespace salign::bio

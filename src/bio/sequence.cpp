@@ -1,0 +1,39 @@
+#include "bio/sequence.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace salign::bio {
+
+Sequence::Sequence(std::string id, std::string_view residues,
+                   AlphabetKind kind)
+    : id_(std::move(id)), kind_(kind) {
+  const Alphabet& a = alphabet();
+  codes_.reserve(residues.size());
+  for (char c : residues) {
+    if (std::isspace(static_cast<unsigned char>(c)))
+      throw std::invalid_argument("Sequence: whitespace in residues of '" +
+                                  id_ + "'");
+    codes_.push_back(a.encode(c));
+  }
+}
+
+Sequence::Sequence(std::string id, std::vector<std::uint8_t> codes,
+                   AlphabetKind kind)
+    : id_(std::move(id)), codes_(std::move(codes)), kind_(kind) {
+  const auto size = static_cast<std::uint8_t>(alphabet().size());
+  for (std::uint8_t c : codes_)
+    if (c >= size)
+      throw std::invalid_argument("Sequence: code out of range in '" + id_ +
+                                  "'");
+}
+
+std::string Sequence::text() const {
+  const Alphabet& a = alphabet();
+  std::string s;
+  s.reserve(codes_.size());
+  for (std::uint8_t c : codes_) s.push_back(a.decode(c));
+  return s;
+}
+
+}  // namespace salign::bio

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bio/alphabet.hpp"
+
+namespace salign::bio {
+
+/// An unaligned biological sequence: identifier + encoded residues.
+///
+/// Residues are stored as alphabet codes (std::uint8_t); the original
+/// character form is reproduced on demand via text(). All alignment, k-mer
+/// and profile code operates on codes, never on characters.
+class Sequence {
+ public:
+  Sequence() : kind_(AlphabetKind::AminoAcid) {}
+
+  /// Encodes `residues` with the given alphabet; unknown characters become
+  /// the alphabet wildcard. Whitespace is rejected.
+  Sequence(std::string id, std::string_view residues,
+           AlphabetKind kind = AlphabetKind::AminoAcid);
+
+  /// Takes pre-encoded codes (used by generators and deserialization).
+  Sequence(std::string id, std::vector<std::uint8_t> codes, AlphabetKind kind);
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] AlphabetKind alphabet_kind() const { return kind_; }
+  [[nodiscard]] const Alphabet& alphabet() const { return Alphabet::get(kind_); }
+
+  [[nodiscard]] std::size_t size() const { return codes_.size(); }
+  [[nodiscard]] bool empty() const { return codes_.empty(); }
+  [[nodiscard]] std::uint8_t code(std::size_t i) const { return codes_[i]; }
+  [[nodiscard]] std::span<const std::uint8_t> codes() const { return codes_; }
+
+  /// Decoded character representation (always uppercase canonical letters).
+  [[nodiscard]] std::string text() const;
+
+  friend bool operator==(const Sequence& a, const Sequence& b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_ && a.codes_ == b.codes_;
+  }
+
+ private:
+  std::string id_;
+  std::vector<std::uint8_t> codes_;
+  AlphabetKind kind_;
+};
+
+}  // namespace salign::bio

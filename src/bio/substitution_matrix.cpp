@@ -1,0 +1,130 @@
+#include "bio/substitution_matrix.hpp"
+
+#include <stdexcept>
+
+namespace salign::bio {
+
+namespace {
+
+// Residue order matches Alphabet::amino_acid(): A R N D C Q E G H I L K M F
+// P S T W Y V. Values are the published integer matrices.
+// clang-format off
+constexpr std::int8_t kBlosum62[20 * 20] = {
+//  A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0,  // A
+   -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3,  // R
+   -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,  // N
+   -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,  // D
+    0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1,  // C
+   -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,  // Q
+   -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,  // E
+    0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3,  // G
+   -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,  // H
+   -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3,  // I
+   -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1,  // L
+   -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,  // K
+   -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1,  // M
+   -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1,  // F
+   -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2,  // P
+    1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  // S
+    0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0,  // T
+   -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3,  // W
+   -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1,  // Y
+    0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4,  // V
+};
+
+constexpr std::int8_t kPam250[20 * 20] = {
+//  A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    2, -2,  0,  0, -2,  0,  0,  1, -1, -1, -2, -1, -1, -3,  1,  1,  1, -6, -3,  0,  // A
+   -2,  6,  0, -1, -4,  1, -1, -3,  2, -2, -3,  3,  0, -4,  0,  0, -1,  2, -4, -2,  // R
+    0,  0,  2,  2, -4,  1,  1,  0,  2, -2, -3,  1, -2, -3,  0,  1,  0, -4, -2, -2,  // N
+    0, -1,  2,  4, -5,  2,  3,  1,  1, -2, -4,  0, -3, -6, -1,  0,  0, -7, -4, -2,  // D
+   -2, -4, -4, -5, 12, -5, -5, -3, -3, -2, -6, -5, -5, -4, -3,  0, -2, -8,  0, -2,  // C
+    0,  1,  1,  2, -5,  4,  2, -1,  3, -2, -2,  1, -1, -5,  0, -1, -1, -5, -4, -2,  // Q
+    0, -1,  1,  3, -5,  2,  4,  0,  1, -2, -3,  0, -2, -5, -1,  0,  0, -7, -4, -2,  // E
+    1, -3,  0,  1, -3, -1,  0,  5, -2, -3, -4, -2, -3, -5,  0,  1,  0, -7, -5, -1,  // G
+   -1,  2,  2,  1, -3,  3,  1, -2,  6, -2, -2,  0, -2, -2,  0, -1, -1, -3,  0, -2,  // H
+   -1, -2, -2, -2, -2, -2, -2, -3, -2,  5,  2, -2,  2,  1, -2, -1,  0, -5, -1,  4,  // I
+   -2, -3, -3, -4, -6, -2, -3, -4, -2,  2,  6, -3,  4,  2, -3, -3, -2, -2, -1,  2,  // L
+   -1,  3,  1,  0, -5,  1,  0, -2,  0, -2, -3,  5,  0, -5, -1,  0,  0, -3, -4, -2,  // K
+   -1,  0, -2, -3, -5, -1, -2, -3, -2,  2,  4,  0,  6,  0, -2, -2, -1, -4, -2,  2,  // M
+   -3, -4, -3, -6, -4, -5, -5, -5, -2,  1,  2, -5,  0,  9, -5, -3, -3,  0,  7, -1,  // F
+    1,  0,  0, -1, -3,  0, -1,  0,  0, -2, -3, -1, -2, -5,  6,  1,  0, -6, -5, -1,  // P
+    1,  0,  1,  0,  0, -1,  0,  1, -1, -1, -3,  0, -2, -3,  1,  2,  1, -2, -3, -1,  // S
+    1, -1,  0,  0, -2, -1,  0,  0, -1,  0, -2,  0, -1, -3,  0,  1,  3, -5, -3,  0,  // T
+   -6,  2, -4, -7, -8, -5, -7, -7, -3, -5, -2, -3, -4,  0, -6, -2, -5, 17,  0, -6,  // W
+   -3, -4, -2, -4,  0, -4, -4, -5,  0, -1, -1, -4, -2,  7, -5, -3, -3,  0, 10, -2,  // Y
+    0, -2, -2, -2, -2, -2, -2, -1, -2,  4,  2, -2,  2, -1, -1, -1,  0, -6, -2,  4,  // V
+};
+
+constexpr std::int8_t kDna[5 * 5] = {
+//  A   C   G   T  (N handled as wildcard)
+    5, -4, -4, -4, -1,
+   -4,  5, -4, -4, -1,
+   -4, -4,  5, -4, -1,
+   -4, -4, -4,  5, -1,
+   -1, -1, -1, -1, -1,
+};
+// clang-format on
+
+// Robinson & Robinson (1991) amino-acid background frequencies, the set
+// MUSCLE uses for expected-score baselines; order matches the alphabet.
+constexpr double kAminoBackground[20] = {
+    0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295,
+    0.07377, 0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856,
+    0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441};
+
+}  // namespace
+
+SubstitutionMatrix::SubstitutionMatrix(std::string name, AlphabetKind kind,
+                                       const std::int8_t* packed, int letters,
+                                       GapPenalties gaps)
+    : name_(std::move(name)), kind_(kind), gaps_(gaps) {
+  const Alphabet& alpha = Alphabet::get(kind);
+  const auto n = static_cast<std::size_t>(alpha.size());
+  if (letters + 1 != alpha.size() && letters != alpha.size())
+    throw std::logic_error("SubstitutionMatrix: size mismatch for " + name_);
+  scores_ = util::Matrix<float>(n, n, kWildcardScore);
+  for (int i = 0; i < letters; ++i)
+    for (int j = 0; j < letters; ++j)
+      scores_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          static_cast<float>(packed[i * letters + j]);
+
+  if (kind == AlphabetKind::AminoAcid) {
+    double e = 0.0;
+    for (int i = 0; i < 20; ++i)
+      for (int j = 0; j < 20; ++j)
+        e += kAminoBackground[i] * kAminoBackground[j] *
+             static_cast<double>(packed[i * letters + j]);
+    expected_ = static_cast<float>(e);
+  } else {
+    // Uniform background over the real letters.
+    double e = 0.0;
+    const int m = alpha.letters();
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < m; ++j)
+        e += static_cast<double>(packed[i * letters + j]) / (m * m);
+    expected_ = static_cast<float>(e);
+  }
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::blosum62() {
+  static const SubstitutionMatrix m("BLOSUM62", AlphabetKind::AminoAcid,
+                                    kBlosum62, 20,
+                                    GapPenalties{11.0F, 1.0F});
+  return m;
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::pam250() {
+  static const SubstitutionMatrix m("PAM250", AlphabetKind::AminoAcid,
+                                    kPam250, 20, GapPenalties{10.0F, 1.0F});
+  return m;
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::dna_default() {
+  static const SubstitutionMatrix m("DNA+5/-4", AlphabetKind::Dna, kDna, 5,
+                                    GapPenalties{10.0F, 2.0F});
+  return m;
+}
+
+}  // namespace salign::bio

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bio/alphabet.hpp"
+#include "util/matrix.hpp"
+
+namespace salign::bio {
+
+/// Affine gap model: total penalty for a gap of length g is
+/// open + extend * (g - 1). Penalties are stored positive and subtracted by
+/// the aligners.
+struct GapPenalties {
+  float open = 11.0F;
+  float extend = 1.0F;
+};
+
+/// Amino-acid substitution scoring matrix over the amino_acid() alphabet
+/// (20 residues + X). Wildcard rows/columns score kWildcardScore.
+///
+/// Shipped matrices are the standard published ones: BLOSUM62
+/// (Henikoff & Henikoff 1992; the MUSCLE/BLAST default) and PAM250
+/// (Dayhoff 1978; classic for divergent sequences). A match/mismatch
+/// matrix is provided for DNA.
+class SubstitutionMatrix {
+ public:
+  static const SubstitutionMatrix& blosum62();
+  static const SubstitutionMatrix& pam250();
+  /// DNA: +5 match / -4 mismatch (BLAST megablast-style).
+  static const SubstitutionMatrix& dna_default();
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] AlphabetKind alphabet_kind() const { return kind_; }
+
+  [[nodiscard]] float score(std::uint8_t a, std::uint8_t b) const {
+    return scores_(a, b);
+  }
+
+  /// Expected score of two residues drawn from the background distribution;
+  /// profile aligners use it as the gap-column baseline.
+  [[nodiscard]] float expected_score() const { return expected_; }
+
+  /// Default affine gap penalties tuned for this matrix.
+  [[nodiscard]] GapPenalties default_gaps() const { return gaps_; }
+
+  static constexpr float kWildcardScore = -1.0F;
+
+ private:
+  SubstitutionMatrix(std::string name, AlphabetKind kind,
+                     const std::int8_t* packed, int letters, GapPenalties gaps);
+
+  std::string name_;
+  AlphabetKind kind_;
+  util::Matrix<float> scores_;
+  float expected_ = 0.0F;
+  GapPenalties gaps_;
+};
+
+}  // namespace salign::bio

@@ -1,0 +1,136 @@
+#include <fstream>
+#include <ostream>
+
+#include "bio/fasta.hpp"
+#include "cli/arg_parser.hpp"
+#include "cli/commands.hpp"
+#include "msa/alignment.hpp"
+#include "workload/balibase.hpp"
+#include "workload/genome.hpp"
+#include "workload/prefab.hpp"
+#include "workload/rose.hpp"
+#include "workload/sabmark.hpp"
+
+namespace salign::cli {
+
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p(
+      "generate",
+      "Emits the library's synthetic workloads as FASTA files so that any\n"
+      "external tool can be run on the same inputs as the benches:\n"
+      "  rose      one ROSE-style family (the paper's Fig. 4/5 input);\n"
+      "  genome    a random sample from the simulated archaeal genome\n"
+      "            protein pool (the paper's Fig. 6 input);\n"
+      "  prefab    PREFAB-style cases with reference alignments (Table 2);\n"
+      "  balibase  BAliBASE-like categories with references (§5);\n"
+      "  sabmark   SABmark-like superfamily/twilight groups (§5).\n"
+      "Suite kinds write <out><i>.fasta plus <out><i>.ref.afa per case.");
+  p.option("kind", "name", "rose",
+           "rose | genome | prefab | balibase | sabmark");
+  p.option("out", "path", "",
+           "output file (rose/genome) or path prefix (suites)");
+  p.option("n", "count", "100",
+           "sequences (rose/genome) or cases/groups per suite");
+  p.option("length", "L", "300", "average sequence length (rose/genome)");
+  p.option("relatedness", "r", "800", "ROSE relatedness knob (rose)");
+  p.option("seed", "s", "42", "random seed");
+  return p;
+}
+
+void write_case(const std::string& prefix, std::size_t index,
+                std::span<const bio::Sequence> seqs,
+                const msa::Alignment& reference) {
+  const std::string base = prefix + std::to_string(index);
+  bio::write_fasta_file(base + ".fasta", seqs);
+  std::ofstream ref(base + ".ref.afa");
+  if (!ref) throw std::runtime_error("cannot open " + base + ".ref.afa");
+  msa::write_aligned_fasta(ref, reference);
+}
+
+}  // namespace
+
+int run_generate(std::span<const std::string> args, std::ostream& out,
+                 std::ostream& err) {
+  ArgParser p = make_parser();
+  try {
+    p.parse(args);
+    if (p.help_requested()) {
+      out << p.usage();
+      return 0;
+    }
+    if (p.get("out").empty()) throw UsageError("--out is required");
+    const std::string kind = p.get("kind");
+    const auto n = static_cast<std::size_t>(p.get_int("n", 1, 1 << 22));
+    const auto length =
+        static_cast<std::size_t>(p.get_int("length", 4, 1 << 20));
+    const auto seed =
+        static_cast<std::uint64_t>(p.get_int("seed", 0, 1L << 62));
+
+    if (kind == "rose") {
+      const auto seqs = workload::rose_sequences(
+          {.num_sequences = n,
+           .average_length = length,
+           .relatedness = p.get_double("relatedness", 1.0, 1e9),
+           .seed = seed});
+      bio::write_fasta_file(p.get("out"), seqs);
+      out << "wrote " << seqs.size() << " sequences to " << p.get("out")
+          << "\n";
+      return 0;
+    }
+    if (kind == "genome") {
+      workload::GenomeParams gp;
+      gp.mean_length = length;
+      gp.seed = seed;
+      const workload::GenomeSimulator sim(gp);
+      const auto seqs = sim.sample(n, seed + 1);
+      bio::write_fasta_file(p.get("out"), seqs);
+      out << "wrote " << seqs.size() << " genome proteins to "
+          << p.get("out") << "\n";
+      return 0;
+    }
+    if (kind == "prefab") {
+      workload::PrefabParams pp;
+      pp.num_cases = n;
+      pp.seed = seed;
+      const auto cases = workload::prefab_cases(pp);
+      for (std::size_t i = 0; i < cases.size(); ++i)
+        write_case(p.get("out"), i, cases[i].sequences, cases[i].reference);
+      out << "wrote " << cases.size() << " PREFAB-style cases to "
+          << p.get("out") << "*\n";
+      return 0;
+    }
+    if (kind == "balibase") {
+      workload::BalibaseParams bp;
+      bp.cases_per_category = std::max<std::size_t>(1, n / 5);
+      bp.seed = seed;
+      const auto cases = workload::balibase_cases(bp);
+      for (std::size_t i = 0; i < cases.size(); ++i)
+        write_case(p.get("out"), i, cases[i].sequences, cases[i].reference);
+      out << "wrote " << cases.size() << " BAliBASE-like cases to "
+          << p.get("out") << "*\n";
+      return 0;
+    }
+    if (kind == "sabmark") {
+      workload::SabmarkParams sp;
+      sp.groups_per_tier = std::max<std::size_t>(1, n / 2);
+      sp.seed = seed;
+      const auto groups = workload::sabmark_groups(sp);
+      for (std::size_t i = 0; i < groups.size(); ++i)
+        write_case(p.get("out"), i, groups[i].sequences, groups[i].reference);
+      out << "wrote " << groups.size() << " SABmark-like groups to "
+          << p.get("out") << "*\n";
+      return 0;
+    }
+    throw UsageError("unknown kind '" + kind + "'");
+  } catch (const UsageError& e) {
+    err << "salign generate: " << e.what() << "\n\n" << p.usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "salign generate: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace salign::cli

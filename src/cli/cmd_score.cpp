@@ -1,0 +1,80 @@
+#include <fstream>
+#include <ostream>
+
+#include "cli/arg_parser.hpp"
+#include "cli/commands.hpp"
+#include "msa/alignment.hpp"
+#include "msa/scoring.hpp"
+#include "workload/balibase.hpp"
+
+namespace salign::cli {
+
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("score",
+              "Scores a test alignment against a trusted reference:\n"
+              "Q (correctly aligned residue pairs / reference pairs, the\n"
+              "PREFAB measure of the paper's Table 2), TC (total columns)\n"
+              "and SP (affine sum-of-pairs). Rows are matched by id.");
+  p.option("test", "file", "", "test alignment (aligned FASTA)");
+  p.option("ref", "file", "", "reference alignment (aligned FASTA)");
+  p.option("core-min-run", "n", "0",
+           "also score on core blocks: runs of >= n full-occupancy "
+           "reference columns (0 = off; BAliBASE-style)");
+  return p;
+}
+
+msa::Alignment read_alignment(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return msa::read_aligned_fasta(f);
+}
+
+}  // namespace
+
+int run_score(std::span<const std::string> args, std::ostream& out,
+              std::ostream& err) {
+  ArgParser p = make_parser();
+  try {
+    p.parse(args);
+    if (p.help_requested()) {
+      out << p.usage();
+      return 0;
+    }
+    if (p.get("test").empty() || p.get("ref").empty())
+      throw UsageError("--test and --ref are required");
+
+    const msa::Alignment test = read_alignment(p.get("test"));
+    const msa::Alignment ref = read_alignment(p.get("ref"));
+    const auto core_run =
+        static_cast<std::size_t>(p.get_int("core-min-run", 0, 1 << 20));
+
+    const auto& matrix = bio::SubstitutionMatrix::blosum62();
+    out << "rows:       " << ref.num_rows() << "\n";
+    out << "Q:          " << msa::q_score(test, ref) << "\n";
+    out << "TC:         " << msa::tc_score(test, ref) << "\n";
+    out << "SP(test):   "
+        << msa::sp_score(test, matrix, matrix.default_gaps()) << "\n";
+    out << "SP(ref):    "
+        << msa::sp_score(ref, matrix, matrix.default_gaps()) << "\n";
+    if (core_run > 0) {
+      const std::vector<bool> mask =
+          workload::core_block_mask(ref, core_run);
+      std::size_t cores = 0;
+      for (const bool b : mask) cores += b ? 1 : 0;
+      out << "core cols:  " << cores << " / " << ref.num_cols() << "\n";
+      out << "Q(core):    " << msa::q_score(test, ref, mask) << "\n";
+      out << "TC(core):   " << msa::tc_score(test, ref, mask) << "\n";
+    }
+    return 0;
+  } catch (const UsageError& e) {
+    err << "salign score: " << e.what() << "\n\n" << p.usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "salign score: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace salign::cli

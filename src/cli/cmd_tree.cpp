@@ -1,0 +1,127 @@
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "align/distance.hpp"
+#include "align/global.hpp"
+#include "bio/fasta.hpp"
+#include "bio/substitution_matrix.hpp"
+#include "cli/arg_parser.hpp"
+#include "cli/commands.hpp"
+#include "kmer/kmer_rank.hpp"
+#include "msa/guide_tree.hpp"
+#include "util/table.hpp"
+
+namespace salign::cli {
+
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("tree",
+              "Builds a phylogenetic/guide tree from unaligned sequences\n"
+              "and prints it in Newick format. The paper uses exactly this\n"
+              "construction (§2): k-mer distances give a rapid tree without\n"
+              "aligning first; the ClustalW-style alternative derives\n"
+              "Kimura distances from all-pairs global alignments.");
+  p.option("in", "file", "", "input FASTA file");
+  p.option("method", "name", "upgma",
+           "tree construction: upgma (MUSCLE-style) or nj "
+           "(neighbor-joining, CLUSTALW-style)");
+  p.option("dist", "name", "kmer",
+           "distance source: kmer (alignment-free, fast) or kimura "
+           "(all-pairs global alignments, O(N^2 L^2))");
+  p.option("k", "len", "0",
+           "k-mer length for --dist kmer (0 = library default)");
+  p.option("out", "file", "", "write the Newick string here instead of stdout");
+  p.flag("weights", "also print CLUSTALW-style leaf weights");
+  return p;
+}
+
+util::SymmetricMatrix<double> kimura_matrix(
+    std::span<const bio::Sequence> seqs) {
+  const bio::SubstitutionMatrix& m = bio::SubstitutionMatrix::blosum62();
+  const bio::GapPenalties gaps = m.default_gaps();
+  util::SymmetricMatrix<double> d(seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    d(i, i) = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const align::PairwiseAlignment pw =
+          align::global_align(seqs[i].codes(), seqs[j].codes(), m, gaps);
+      d(i, j) = align::kimura_distance(
+          align::fractional_identity(seqs[i].codes(), seqs[j].codes(),
+                                     pw.ops));
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+int run_tree(std::span<const std::string> args, std::ostream& out,
+             std::ostream& err) {
+  ArgParser p = make_parser();
+  try {
+    p.parse(args);
+    if (p.help_requested()) {
+      out << p.usage();
+      return 0;
+    }
+    if (p.get("in").empty()) throw UsageError("--in is required");
+    const std::string method = p.get("method");
+    if (method != "upgma" && method != "nj")
+      throw UsageError("--method must be upgma or nj");
+    const std::string dist = p.get("dist");
+    if (dist != "kmer" && dist != "kimura")
+      throw UsageError("--dist must be kmer or kimura");
+
+    const std::vector<bio::Sequence> seqs = bio::read_fasta_file(p.get("in"));
+    if (seqs.size() < 2)
+      throw std::runtime_error("need at least 2 sequences to build a tree");
+
+    util::SymmetricMatrix<double> d(0);
+    if (dist == "kmer") {
+      kmer::KmerParams kp;
+      const auto k = static_cast<std::size_t>(p.get_int("k", 0, 32));
+      if (k > 0) kp.k = k;
+      d = kmer::distance_matrix(seqs, kp);
+    } else {
+      d = kimura_matrix(seqs);
+    }
+
+    const msa::GuideTree tree = method == "upgma"
+                                    ? msa::GuideTree::upgma(d)
+                                    : msa::GuideTree::neighbor_joining(d);
+    std::vector<std::string> names;
+    names.reserve(seqs.size());
+    for (const auto& s : seqs) names.push_back(s.id());
+    const std::string newick = tree.newick(names);
+
+    const std::string out_path = p.get("out");
+    if (out_path.empty()) {
+      out << newick << "\n";
+    } else {
+      std::ofstream f(out_path);
+      if (!f) throw std::runtime_error("cannot write " + out_path);
+      f << newick << "\n";
+      out << "wrote " << out_path << "\n";
+    }
+
+    if (p.get_flag("weights")) {
+      const std::vector<double> w = tree.leaf_weights();
+      util::Table t({"id", "weight"});
+      for (std::size_t i = 0; i < seqs.size(); ++i)
+        t.add_row({seqs[i].id(), util::fmt("%.4f", w[i])});
+      out << t.to_string();
+    }
+    return 0;
+  } catch (const UsageError& e) {
+    err << "salign tree: " << e.what() << "\n\n" << p.usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "salign tree: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace salign::cli

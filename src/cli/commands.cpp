@@ -1,0 +1,76 @@
+#include "cli/commands.hpp"
+
+#include <ostream>
+
+#include "cli/arg_parser.hpp"
+#include "msa/clustalw_like.hpp"
+#include "msa/mafft_like.hpp"
+#include "msa/muscle_like.hpp"
+#include "msa/probcons_like.hpp"
+#include "msa/tcoffee_like.hpp"
+
+namespace salign::cli {
+
+std::shared_ptr<const msa::MsaAlgorithm> make_aligner(
+    const std::string& name) {
+  if (name == "muscle") return std::make_shared<msa::MuscleAligner>();
+  if (name == "muscle-refine") {
+    msa::MuscleOptions o;
+    o.refine_passes = 2;
+    return std::make_shared<msa::MuscleAligner>(o);
+  }
+  if (name == "clustalw") return std::make_shared<msa::ClustalWAligner>();
+  if (name == "tcoffee") return std::make_shared<msa::TCoffeeAligner>();
+  if (name == "nwnsi") {
+    msa::MafftOptions o;
+    o.use_fft = false;
+    return std::make_shared<msa::MafftAligner>(o);
+  }
+  if (name == "fftnsi") {
+    msa::MafftOptions o;
+    o.use_fft = true;
+    return std::make_shared<msa::MafftAligner>(o);
+  }
+  if (name == "probcons") return std::make_shared<msa::ProbConsAligner>();
+  throw UsageError("unknown aligner '" + name + "' (expected one of " +
+                   aligner_names() + ")");
+}
+
+std::string aligner_names() {
+  return "muscle, muscle-refine, clustalw, tcoffee, nwnsi, fftnsi, probcons";
+}
+
+int dispatch(std::span<const std::string> args, std::ostream& out,
+             std::ostream& err) {
+  const auto print_help = [&](std::ostream& os) {
+    os << "salign — Sample-Align-D multiple sequence alignment toolkit\n"
+          "(reproduction of Saeed & Khokhar, IPDPS 2008)\n\n"
+          "usage: salign <command> [options]\n\n"
+          "commands:\n"
+          "  align     align FASTA sequences (Sample-Align-D pipeline or a\n"
+          "            sequential aligner)\n"
+          "  score     score an alignment against a trusted reference\n"
+          "  rank      print k-mer ranks of sequences\n"
+          "  tree      build a guide/phylogenetic tree (Newick)\n"
+          "  generate  emit synthetic benchmark workloads\n"
+          "  help      show this message\n\n"
+          "run 'salign <command> --help' for per-command options.\n";
+  };
+  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+      args[0] == "-h") {
+    print_help(out);
+    return 0;
+  }
+  const std::string& cmd = args[0];
+  const std::span<const std::string> rest = args.subspan(1);
+  if (cmd == "align") return run_align(rest, out, err);
+  if (cmd == "score") return run_score(rest, out, err);
+  if (cmd == "rank") return run_rank(rest, out, err);
+  if (cmd == "tree") return run_tree(rest, out, err);
+  if (cmd == "generate") return run_generate(rest, out, err);
+  err << "salign: unknown command '" << cmd << "'\n\n";
+  print_help(err);
+  return 2;
+}
+
+}  // namespace salign::cli

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "msa/msa_algorithm.hpp"
+
+namespace salign::cli {
+
+/// The `salign` command-line tool, exposed as callable functions so the
+/// test suite drives every command in-process (no fork/exec). Each command
+/// takes its argument list (program and command names stripped), writes
+/// results to `out` and diagnostics to `err`, and returns the process exit
+/// status: 0 success, 1 runtime failure (bad file, bad data), 2 usage
+/// error.
+///
+/// Commands:
+///   align     align a FASTA file with Sample-Align-D or a sequential
+///             aligner;
+///   score     score a test alignment against a trusted reference
+///             (Q / TC / SP, optional core-block masking);
+///   rank      print k-mer ranks (centralized or sample-globalized) —
+///             the Fig. 1/3 diagnostic for arbitrary input;
+///   tree      build a UPGMA / neighbor-joining tree from k-mer or
+///             Kimura distances, emit Newick (the paper's §2 rapid
+///             phylogeny construction);
+///   generate  emit synthetic workloads (rose / genome / prefab /
+///             balibase / sabmark) as FASTA (+ reference alignments).
+int run_align(std::span<const std::string> args, std::ostream& out,
+              std::ostream& err);
+int run_score(std::span<const std::string> args, std::ostream& out,
+              std::ostream& err);
+int run_rank(std::span<const std::string> args, std::ostream& out,
+             std::ostream& err);
+int run_tree(std::span<const std::string> args, std::ostream& out,
+             std::ostream& err);
+int run_generate(std::span<const std::string> args, std::ostream& out,
+                 std::ostream& err);
+
+/// Top-level dispatch: args[0] is the command name. Prints the tool help
+/// on empty input, `help`, or an unknown command (the latter returns 2).
+int dispatch(std::span<const std::string> args, std::ostream& out,
+             std::ostream& err);
+
+/// Shared aligner registry: maps a CLI name to an aligner instance.
+/// Names: muscle, muscle-refine, clustalw, tcoffee, nwnsi, fftnsi,
+/// probcons. Throws UsageError for unknown names.
+[[nodiscard]] std::shared_ptr<const msa::MsaAlgorithm> make_aligner(
+    const std::string& name);
+
+/// All valid aligner names, for help/error text.
+[[nodiscard]] std::string aligner_names();
+
+}  // namespace salign::cli

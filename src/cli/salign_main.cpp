@@ -1,0 +1,16 @@
+// Entry point of the `salign` command-line tool. All logic lives in
+// cli::dispatch / cli::run_* so the test suite can exercise every command
+// in-process; this file only adapts argv.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return salign::cli::dispatch(args, std::cout, std::cerr);
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+
+#include "bio/substitution_matrix.hpp"
+#include "kmer/kmer_profile.hpp"
+#include "msa/consensus.hpp"
+#include "msa/msa_algorithm.hpp"
+#include "msa/polish.hpp"
+
+namespace salign::core {
+
+/// How sequences are ranked before the sample-sort redistribution.
+enum class RankMode {
+  /// Sample-Align-D (this paper): exchange k·p samples and re-rank every
+  /// sequence against the global sample — correct for phylogenetically
+  /// diverse inputs (§2.3.1).
+  Globalized,
+  /// The predecessor Sample-Align system [34]: each processor keeps its
+  /// local-block rank. Valid only under the homogeneity assumption; kept as
+  /// the ablation that shows why the globalized re-rank matters.
+  LocalOnly,
+};
+
+/// Configuration of the Sample-Align-D pipeline.
+struct SampleAlignDConfig {
+  /// Number of logical processors p (the paper's cluster size knob).
+  int num_procs = 4;
+
+  /// k-mer rank parameters (paper §2, "k-mer Rank").
+  kmer::KmerParams kmer{};
+
+  /// Samples contributed per processor in the sample-exchange round
+  /// (the paper's k, with k << N/p). 0 selects the paper's default k = p-1.
+  int samples_per_proc = 0;
+
+  /// Globalized (paper) vs local-only (predecessor [34]) ranking.
+  RankMode rank_mode = RankMode::Globalized;
+
+  /// The sequential MSA system run inside every processor (paper step
+  /// "Align sequences in each processor using any sequential multiple
+  /// alignment system"). Null selects MiniMuscle, the paper's choice.
+  std::shared_ptr<const msa::MsaAlgorithm> local_aligner;
+
+  /// Whether to run the global-ancestor profile-profile tweak (paper steps
+  /// 12-16). Disabling it degrades the glue to block-diagonal concatenation
+  /// — the ablation that shows why the ancestor constraint matters.
+  bool ancestor_refinement = true;
+
+  /// Local-ancestor extraction parameters.
+  msa::ConsensusOptions consensus{};
+
+  /// Root-side polish of the glued alignment: re-align the most divergent
+  /// rows against the global profile (the paper's §5 future-work
+  /// refinement). Disabled by default to match the published pipeline.
+  bool polish_divergent = false;
+
+  /// Polish parameters (used only when polish_divergent is set). max_rows
+  /// defaults to 32 here to bound the root-side cost on large glues.
+  msa::PolishOptions polish{.fraction = 0.15,
+                            .max_rows = 32,
+                            .passes = 1,
+                            .gaps = {},
+                            .min_gain = 1e-4F};
+
+  /// Scoring matrix for profiles/consensus alignment.
+  const bio::SubstitutionMatrix* matrix = &bio::SubstitutionMatrix::blosum62();
+};
+
+}  // namespace salign::core

@@ -1,0 +1,56 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace salign::core {
+
+std::vector<double> regular_samples(std::span<const double> sorted_keys,
+                                    std::size_t count) {
+  if (!std::is_sorted(sorted_keys.begin(), sorted_keys.end()))
+    throw std::invalid_argument("regular_samples: keys not sorted");
+  std::vector<double> out;
+  if (sorted_keys.empty() || count == 0) return out;
+  const std::size_t n = sorted_keys.size();
+  const std::size_t take = std::min(count, n);
+  out.reserve(take);
+  // Evenly spaced: positions (i+1) * n / (count+1), the PSRS convention
+  // that leaves room on both flanks.
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t pos =
+        std::min(n - 1, (i + 1) * n / (take + 1));
+    out.push_back(sorted_keys[pos]);
+  }
+  return out;
+}
+
+std::vector<double> choose_pivots(std::vector<double> samples, int p) {
+  if (p <= 0) throw std::invalid_argument("choose_pivots: p must be > 0");
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> pivots;
+  if (p == 1 || samples.empty()) return pivots;
+  pivots.reserve(static_cast<std::size_t>(p - 1));
+  const auto up = static_cast<std::size_t>(p);
+  for (std::size_t i = 0; i + 2 <= up; ++i) {
+    // Position p/2 + i*p into the sorted sample multiset, clamped for
+    // degenerate (short) sample lists.
+    const std::size_t pos = std::min(samples.size() - 1, up / 2 + i * up);
+    pivots.push_back(samples[pos]);
+  }
+  return pivots;
+}
+
+std::size_t bucket_of(double key, std::span<const double> pivots) {
+  // First pivot >= key; keys above every pivot land in the last bucket.
+  const auto it = std::lower_bound(pivots.begin(), pivots.end(), key);
+  return static_cast<std::size_t>(it - pivots.begin());
+}
+
+std::vector<std::size_t> bucket_histogram(std::span<const double> keys,
+                                          std::span<const double> pivots) {
+  std::vector<std::size_t> counts(pivots.size() + 1, 0);
+  for (double k : keys) ++counts[bucket_of(k, pivots)];
+  return counts;
+}
+
+}  // namespace salign::core

@@ -1,0 +1,80 @@
+#include "core/pipeline_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace salign::core {
+
+double StageStats::max_seconds() const {
+  double m = 0.0;
+  for (double s : rank_seconds) m = std::max(m, s);
+  return m;
+}
+
+double StageStats::comm_seconds(const par::ClusterCostModel& model,
+                                int p) const {
+  switch (pattern) {
+    case CommPattern::None: return 0.0;
+    case CommPattern::Gather: return model.gather(max_bytes_per_rank, p);
+    case CommPattern::Broadcast: return model.broadcast(max_bytes_per_rank, p);
+    case CommPattern::AllGather:
+      // Every rank broadcasts its contribution: p concurrent flat trees,
+      // charged as the slowest rank's outbound serialization.
+      return model.broadcast(max_bytes_per_rank, p);
+    case CommPattern::AllToAll: return model.all_to_all(max_bytes_per_rank, p);
+  }
+  return 0.0;
+}
+
+std::uint64_t PipelineStats::total_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& s : stages) t += s.total_bytes;
+  return t;
+}
+
+double PipelineStats::total_compute_seconds() const {
+  double t = 0.0;
+  for (const auto& s : stages) t += s.max_seconds();
+  return t;
+}
+
+double PipelineStats::modeled_seconds(const par::ClusterCostModel& model) const {
+  double t = 0.0;
+  for (const auto& s : stages)
+    t += s.max_seconds() + s.comm_seconds(model, num_procs);
+  return t;
+}
+
+double PipelineStats::load_factor() const {
+  if (bucket_sizes.empty() || num_sequences == 0 || num_procs == 0) return 0.0;
+  const std::size_t max_bucket =
+      *std::max_element(bucket_sizes.begin(), bucket_sizes.end());
+  const double share = static_cast<double>(num_sequences) /
+                       static_cast<double>(num_procs);
+  return share > 0.0 ? static_cast<double>(max_bucket) / share : 0.0;
+}
+
+std::string PipelineStats::summary() const {
+  const par::ClusterCostModel model;
+  util::Table table({"stage", "max rank s", "comm s (model)", "bytes"});
+  for (const auto& s : stages) {
+    table.add_row({s.name, util::fmt("%.4f", s.max_seconds()),
+                   util::fmt("%.6f", s.comm_seconds(model, num_procs)),
+                   std::to_string(s.total_bytes)});
+  }
+  std::ostringstream os;
+  os << "Sample-Align-D pipeline: N=" << num_sequences << " p=" << num_procs
+     << '\n'
+     << table.to_string() << "buckets:";
+  for (std::size_t b : bucket_sizes) os << ' ' << b;
+  os << "  (load factor " << util::fmt("%.2f", load_factor()) << ", bound 2.0)"
+     << '\n'
+     << "wall " << util::fmt("%.3f", wall_seconds) << " s; modeled cluster "
+     << util::fmt("%.3f", modeled_seconds(model)) << " s; total "
+     << total_bytes() << " bytes on the wire\n";
+  return os.str();
+}
+
+}  // namespace salign::core

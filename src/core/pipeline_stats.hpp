@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "par/cost_model.hpp"
+
+namespace salign::core {
+
+/// Communication pattern of a pipeline stage (drives the cost model).
+enum class CommPattern : std::uint8_t {
+  None,       ///< pure computation
+  Gather,     ///< all ranks -> root
+  Broadcast,  ///< root -> all ranks
+  AllGather,  ///< all ranks -> all ranks (same payload)
+  AllToAll,   ///< personalized exchange
+};
+
+/// Timing/volume record of one pipeline stage.
+struct StageStats {
+  std::string name;
+  CommPattern pattern = CommPattern::None;
+  /// Per-rank CPU seconds spent computing in this stage.
+  std::vector<double> rank_seconds;
+  /// Communication volume: max bytes sent by any rank in this stage.
+  std::uint64_t max_bytes_per_rank = 0;
+  /// Total bytes sent by all ranks in this stage.
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] double max_seconds() const;
+
+  /// Modeled wire time of this stage's communication on the given
+  /// interconnect.
+  [[nodiscard]] double comm_seconds(const par::ClusterCostModel& model,
+                                    int p) const;
+};
+
+/// End-to-end instrumentation of one pipeline run.
+///
+/// Two notions of time are reported (DESIGN.md §2):
+///  - wall_seconds: host wall-clock of the run (threads oversubscribe the
+///    host's cores, so this undersells large p on small machines);
+///  - modeled_seconds(): per-stage max rank CPU time + modeled wire time,
+///    i.e. the makespan on a dedicated p-node cluster — the quantity the
+///    paper's Figs. 4-6 plot.
+struct PipelineStats {
+  int num_procs = 0;
+  std::size_t num_sequences = 0;
+  std::vector<StageStats> stages;
+  /// Bucket sizes after redistribution (load-balance check vs the paper's
+  /// 2N/p regular-sampling bound).
+  std::vector<std::size_t> bucket_sizes;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] double total_compute_seconds() const;
+  [[nodiscard]] double modeled_seconds(const par::ClusterCostModel& model =
+                                           par::ClusterCostModel{}) const;
+  /// Largest bucket relative to the perfect share N/p (1.0 = perfectly
+  /// balanced; regular sampling guarantees <= 2.0 for distinct keys).
+  [[nodiscard]] double load_factor() const;
+
+  /// Multi-line human-readable per-stage report.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace salign::core

@@ -1,0 +1,702 @@
+#include "core/sample_align_d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/partition.hpp"
+#include "kmer/kmer_rank.hpp"
+#include "msa/consensus.hpp"
+#include "msa/muscle_like.hpp"
+#include "msa/profile.hpp"
+#include "msa/profile_align.hpp"
+#include "par/cluster.hpp"
+#include "util/timer.hpp"
+
+namespace salign::core {
+
+namespace {
+
+using align::EditOp;
+using bio::Sequence;
+using msa::Alignment;
+using par::ByteReader;
+using par::Bytes;
+using par::ByteWriter;
+using par::Communicator;
+
+// ---- Stage catalogue ------------------------------------------------------
+
+enum Stage : int {
+  kLocalRank = 0,
+  kLocalSort,
+  kSampleSelect,
+  kSampleExchange,
+  kGlobalRank,
+  kGlobalSort,
+  kPivotGather,
+  kPivotSelect,
+  kPivotBcast,
+  kBucketPartition,
+  kRedistribute,
+  kLocalAlign,
+  kAncestorExtract,
+  kAncestorGather,
+  kAncestorAlign,
+  kAncestorBcast,
+  kTweak,
+  kGlueGather,
+  kGlue,
+  kPolish,
+  kNumStages,
+};
+
+struct StageInfo {
+  const char* name;
+  CommPattern pattern;
+};
+
+constexpr std::array<StageInfo, kNumStages> kStageInfo{{
+    {"local k-mer rank", CommPattern::None},
+    {"local sort", CommPattern::None},
+    {"sample selection", CommPattern::None},
+    {"sample exchange", CommPattern::AllGather},
+    {"globalized k-mer rank", CommPattern::None},
+    {"sort by global rank", CommPattern::None},
+    {"pivot candidate gather", CommPattern::Gather},
+    {"pivot selection (root)", CommPattern::None},
+    {"pivot broadcast", CommPattern::Broadcast},
+    {"bucket partition", CommPattern::None},
+    {"sequence redistribution", CommPattern::AllToAll},
+    {"local alignment", CommPattern::None},
+    {"ancestor extraction", CommPattern::None},
+    {"ancestor gather", CommPattern::Gather},
+    {"global ancestor alignment (root)", CommPattern::None},
+    {"global ancestor broadcast", CommPattern::Broadcast},
+    {"ancestor profile tweak", CommPattern::None},
+    {"glue gather", CommPattern::Gather},
+    {"glue (root)", CommPattern::None},
+    {"divergent polish (root)", CommPattern::None},
+}};
+
+/// Per-rank stage accounting: CPU seconds (immune to host oversubscription)
+/// plus bytes sent.
+class StageRecorder {
+ public:
+  void begin(int stage) {
+    flush();
+    current_ = stage;
+    timer_.restart();
+  }
+  void end() { flush(); }
+  void add_bytes(int stage, std::uint64_t bytes) {
+    bytes_[static_cast<std::size_t>(stage)] += bytes;
+  }
+
+  [[nodiscard]] Bytes serialize(std::size_t bucket_size) const {
+    ByteWriter w;
+    w.u64(bucket_size);
+    for (int s = 0; s < kNumStages; ++s) {
+      w.f64(seconds_[static_cast<std::size_t>(s)]);
+      w.u64(bytes_[static_cast<std::size_t>(s)]);
+    }
+    return w.take();
+  }
+
+ private:
+  void flush() {
+    if (current_ >= 0)
+      seconds_[static_cast<std::size_t>(current_)] += timer_.restart();
+    current_ = -1;
+  }
+  std::array<double, kNumStages> seconds_{};
+  std::array<std::uint64_t, kNumStages> bytes_{};
+  int current_ = -1;
+  util::ThreadCpuTimer timer_;
+};
+
+// ---- Pipeline payloads ----------------------------------------------------
+
+/// A sequence travelling through the pipeline with its original position
+/// (for deterministic ties and final row order) and current rank key.
+struct Item {
+  std::uint64_t index = 0;
+  double rank = 0.0;
+  Sequence seq;
+};
+
+void write_item(ByteWriter& w, const Item& it) {
+  w.u64(it.index);
+  w.f64(it.rank);
+  par::write_sequence(w, it.seq);
+}
+
+Item read_item(ByteReader& r) {
+  Item it;
+  it.index = r.u64();
+  it.rank = r.f64();
+  it.seq = par::read_sequence(r);
+  return it;
+}
+
+void sort_items(std::vector<Item>& items) {
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.index < b.index;  // deterministic tie-break
+  });
+}
+
+Bytes encode_ops(std::span<const EditOp> ops) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(ops.size()));
+  for (EditOp op : ops) w.u8(static_cast<std::uint8_t>(op));
+  return w.take();
+}
+
+std::vector<EditOp> decode_ops(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<EditOp> ops;
+  ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    ops.push_back(static_cast<EditOp>(r.u8()));
+  return ops;
+}
+
+// ---- Glue on the global-ancestor coordinate system ------------------------
+
+/// Places every bucket's (tweaked) alignment into a shared column space:
+/// global-ancestor columns are common anchors; insertions relative to the
+/// ancestor get per-position insertion blocks sized by the widest bucket.
+Alignment glue_on_ancestor(std::span<const Alignment> locals,
+                           std::span<const std::vector<EditOp>> paths,
+                           std::size_t ga_len, bio::AlphabetKind kind) {
+  const std::size_t p = locals.size();
+
+  // ins[b][g]: columns bucket b inserts immediately before ancestor column
+  // g (g == ga_len collects trailing insertions).
+  std::vector<std::vector<std::size_t>> ins(
+      p, std::vector<std::size_t>(ga_len + 1, 0));
+  for (std::size_t b = 0; b < p; ++b) {
+    std::size_t g = 0;
+    for (EditOp op : paths[b]) {
+      switch (op) {
+        case EditOp::Match: ++g; break;
+        case EditOp::GapInA: ++g; break;          // ancestor col, no local col
+        case EditOp::GapInB: ++ins[b][g]; break;  // local-only column
+      }
+    }
+  }
+  std::vector<std::size_t> ins_max(ga_len + 1, 0);
+  for (std::size_t g = 0; g <= ga_len; ++g)
+    for (std::size_t b = 0; b < p; ++b)
+      ins_max[g] = std::max(ins_max[g], ins[b][g]);
+
+  // Column layout: [ins block 0] GA0 [ins block 1] GA1 ... [ins block G].
+  std::vector<std::size_t> ga_pos(ga_len, 0);
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < ga_len; ++g) {
+    total += ins_max[g];
+    ga_pos[g] = total;
+    ++total;
+  }
+  total += ins_max[ga_len];
+
+  std::vector<msa::AlignedRow> rows;
+  for (std::size_t b = 0; b < p; ++b) {
+    const Alignment& local = locals[b];
+    if (local.empty()) continue;
+    const std::size_t first_row = rows.size();
+    for (std::size_t r = 0; r < local.num_rows(); ++r) {
+      msa::AlignedRow row;
+      row.id = local.row(r).id;
+      row.cells.assign(total, Alignment::kGap);
+      rows.push_back(std::move(row));
+    }
+
+    auto block_start = [&](std::size_t g) {
+      return g < ga_len ? ga_pos[g] - ins_max[g] : total - ins_max[ga_len];
+    };
+    std::size_t lc = 0;
+    std::size_t g = 0;
+    std::size_t seen = 0;  // insertions placed before ancestor column g
+    auto place = [&](std::size_t pos) {
+      for (std::size_t r = 0; r < local.num_rows(); ++r)
+        rows[first_row + r].cells[pos] = local.cell(r, lc);
+      ++lc;
+    };
+    for (EditOp op : paths[b]) {
+      switch (op) {
+        case EditOp::Match:
+          place(ga_pos[g]);
+          ++g;
+          seen = 0;
+          break;
+        case EditOp::GapInA:
+          ++g;
+          seen = 0;
+          break;
+        case EditOp::GapInB:
+          place(block_start(g) + seen);
+          ++seen;
+          break;
+      }
+    }
+  }
+
+  Alignment glued(std::move(rows), kind);
+  glued.strip_all_gap_columns();
+  return glued;
+}
+
+/// Fallback glue without the ancestor constraint: block-diagonal
+/// concatenation (each bucket keeps private columns). Used by the
+/// ancestor-ablation configuration.
+Alignment glue_block_diagonal(std::span<const Alignment> locals,
+                              bio::AlphabetKind kind) {
+  std::size_t total = 0;
+  for (const Alignment& a : locals) total += a.num_cols();
+
+  std::vector<msa::AlignedRow> rows;
+  std::size_t offset = 0;
+  for (const Alignment& local : locals) {
+    for (std::size_t r = 0; r < local.num_rows(); ++r) {
+      msa::AlignedRow row;
+      row.id = local.row(r).id;
+      row.cells.assign(total, Alignment::kGap);
+      for (std::size_t c = 0; c < local.num_cols(); ++c)
+        row.cells[offset + c] = local.cell(r, c);
+      rows.push_back(std::move(row));
+    }
+    offset += local.num_cols();
+  }
+  return Alignment(std::move(rows), kind);
+}
+
+}  // namespace
+
+SampleAlignD::SampleAlignD(SampleAlignDConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_procs <= 0)
+    throw std::invalid_argument("SampleAlignD: num_procs must be > 0");
+  if (!config_.local_aligner)
+    config_.local_aligner = msa::make_default_aligner();
+}
+
+msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
+                                   PipelineStats* stats) const {
+  if (seqs.empty()) throw std::invalid_argument("SampleAlignD: no sequences");
+  {
+    std::unordered_map<std::string, int> ids;
+    for (const auto& s : seqs) {
+      if (s.empty())
+        throw std::invalid_argument("SampleAlignD: empty sequence " + s.id());
+      if (++ids[s.id()] > 1)
+        throw std::invalid_argument("SampleAlignD: duplicate id " + s.id());
+    }
+  }
+
+  const int p = config_.num_procs;
+  const auto n = seqs.size();
+  util::Stopwatch wall;
+
+  if (stats) {
+    *stats = PipelineStats{};
+    stats->num_procs = p;
+    stats->num_sequences = n;
+    stats->stages.resize(kNumStages);
+    for (int s = 0; s < kNumStages; ++s) {
+      stats->stages[static_cast<std::size_t>(s)].name =
+          kStageInfo[static_cast<std::size_t>(s)].name;
+      stats->stages[static_cast<std::size_t>(s)].pattern =
+          kStageInfo[static_cast<std::size_t>(s)].pattern;
+    }
+  }
+
+  // p == 1: the pipeline degenerates to the sequential aligner (no
+  // communication, no tweak — matching the paper's baseline column).
+  if (p == 1) {
+    // A single rank runs undisturbed on the host, so wall time *is* the
+    // dedicated-node time (and avoids the coarse granularity some
+    // containers give CLOCK_THREAD_CPUTIME_ID).
+    util::Stopwatch cpu;
+    Alignment aln = config_.local_aligner->align(seqs);
+    if (stats) stats->stages[kLocalAlign].rank_seconds = {cpu.seconds()};
+    if (config_.polish_divergent && aln.num_rows() >= 3) {
+      util::Stopwatch polish_cpu;
+      (void)msa::polish_divergent_rows(aln, *config_.matrix, config_.polish);
+      if (stats)
+        stats->stages[kPolish].rank_seconds = {polish_cpu.seconds()};
+    }
+    if (stats) {
+      stats->bucket_sizes = {n};
+      stats->wall_seconds = wall.seconds();
+    }
+    return aln;
+  }
+
+  // Index -> original position for the final row ordering.
+  std::unordered_map<std::string, std::size_t> pos_of_id;
+  for (std::size_t i = 0; i < n; ++i) pos_of_id.emplace(seqs[i].id(), i);
+
+  const std::size_t samples_per_proc =
+      config_.samples_per_proc > 0
+          ? static_cast<std::size_t>(config_.samples_per_proc)
+          : static_cast<std::size_t>(p - 1);
+
+  Alignment result;
+  std::vector<Bytes> stat_blobs;
+
+  par::Cluster cluster(p);
+  cluster.run([&](Communicator& comm) {
+    const int r = comm.rank();
+    const auto ur = static_cast<std::size_t>(r);
+    StageRecorder rec;
+
+    // Step 1: contiguous block distribution, w = N/p (last rank may be
+    // short; the paper "divides the files into equal parts").
+    const std::size_t chunk =
+        (n + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
+    const std::size_t begin = std::min(n, ur * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    std::vector<Item> items;
+    items.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i)
+      items.push_back(Item{i, 0.0, seqs[i]});
+
+    // Step 2: local k-mer rank (each sequence vs the local block).
+    rec.begin(kLocalRank);
+    {
+      std::vector<Sequence> local_seqs;
+      local_seqs.reserve(items.size());
+      for (const auto& it : items) local_seqs.push_back(it.seq);
+      const std::vector<double> ranks =
+          kmer::centralized_ranks(local_seqs, config_.kmer);
+      for (std::size_t i = 0; i < items.size(); ++i) items[i].rank = ranks[i];
+    }
+
+    // Step 3: local sort by rank.
+    rec.begin(kLocalSort);
+    sort_items(items);
+
+    // Steps 4-7 implement the globalized re-rank of §2.3.1; the predecessor
+    // Sample-Align system [34] (RankMode::LocalOnly) skips them and pivots
+    // on the local-block ranks — kept as the homogeneity-assumption
+    // ablation.
+    if (config_.rank_mode == RankMode::Globalized) {
+      // Step 4: choose k sample sequences, evenly spaced in rank order.
+      rec.begin(kSampleSelect);
+      std::vector<Sequence> my_samples;
+      {
+        const std::size_t k = std::min(samples_per_proc,
+                                       items.empty() ? 0 : items.size());
+        for (std::size_t i = 0; i < k; ++i) {
+          const std::size_t pos =
+              std::min(items.size() - 1, (i + 1) * items.size() / (k + 1));
+          my_samples.push_back(items[pos].seq);
+        }
+      }
+
+      // Step 5: exchange samples (k*p sequences known to every rank).
+      rec.begin(kSampleExchange);
+      std::vector<Sequence> samples;
+      {
+        ByteWriter w;
+        par::write_sequences(w, my_samples);
+        Bytes payload = w.take();
+        rec.add_bytes(kSampleExchange,
+                      payload.size() * static_cast<std::size_t>(p - 1));
+        const std::vector<Bytes> all = comm.all_gather(std::move(payload));
+        for (const Bytes& b : all) {
+          ByteReader rd(b);
+          std::vector<Sequence> part = par::read_sequences(rd);
+          samples.insert(samples.end(),
+                         std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+        }
+      }
+
+      // Step 6: globalized rank — every local sequence vs the global
+      // sample.
+      rec.begin(kGlobalRank);
+      {
+        const std::vector<kmer::KmerProfile> ref =
+            kmer::build_profiles(samples, config_.kmer);
+        for (auto& it : items) {
+          const kmer::KmerProfile prof =
+              kmer::KmerProfile::from_sequence(it.seq, config_.kmer);
+          it.rank = kmer::rank_from_mean_similarity(
+              kmer::mean_similarity(prof, ref));
+        }
+      }
+
+      // Step 7: re-sort by globalized rank.
+      rec.begin(kGlobalSort);
+      sort_items(items);
+    }
+
+    // Step 8: regular sampling of rank keys to the root.
+    rec.begin(kPivotGather);
+    std::vector<double> pivots;
+    Bytes pivot_msg;
+    {
+      std::vector<double> keys;
+      keys.reserve(items.size());
+      for (const auto& it : items) keys.push_back(it.rank);
+      const std::vector<double> cand =
+          regular_samples(keys, static_cast<std::size_t>(p - 1));
+      ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(cand.size()));
+      for (double c : cand) w.f64(c);
+      Bytes payload = w.take();
+      rec.add_bytes(kPivotGather, r == 0 ? 0 : payload.size());
+      const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
+
+      // Step 9: root sorts the p(p-1) candidates and picks p-1 pivots.
+      if (r == 0) {
+        rec.begin(kPivotSelect);
+        std::vector<double> all;
+        for (const Bytes& b : gathered) {
+          ByteReader rd(b);
+          const std::uint32_t k = rd.u32();
+          for (std::uint32_t i = 0; i < k; ++i) all.push_back(rd.f64());
+        }
+        pivots = choose_pivots(std::move(all), p);
+        ByteWriter pw;
+        pw.u32(static_cast<std::uint32_t>(pivots.size()));
+        for (double v : pivots) pw.f64(v);
+        pivot_msg = pw.take();
+        rec.add_bytes(kPivotBcast,
+                      pivot_msg.size() * static_cast<std::size_t>(p - 1));
+      }
+    }
+    rec.begin(kPivotBcast);
+    pivot_msg = comm.broadcast(0, std::move(pivot_msg));
+    {
+      ByteReader rd(pivot_msg);
+      const std::uint32_t k = rd.u32();
+      pivots.clear();
+      pivots.reserve(k);
+      for (std::uint32_t i = 0; i < k; ++i) pivots.push_back(rd.f64());
+    }
+
+    // Step 10: bucket the local sequences and redistribute all-to-all.
+    rec.begin(kBucketPartition);
+    std::vector<ByteWriter> writers(static_cast<std::size_t>(p));
+    std::vector<std::uint32_t> counts(static_cast<std::size_t>(p), 0);
+    for (const auto& it : items) ++counts[bucket_of(it.rank, pivots)];
+    for (std::size_t d = 0; d < writers.size(); ++d) writers[d].u32(counts[d]);
+    for (const auto& it : items)
+      write_item(writers[bucket_of(it.rank, pivots)], it);
+    items.clear();
+    items.shrink_to_fit();
+
+    rec.begin(kRedistribute);
+    std::vector<Item> bucket;
+    {
+      std::vector<Bytes> outgoing;
+      outgoing.reserve(writers.size());
+      std::uint64_t sent = 0;
+      for (std::size_t d = 0; d < writers.size(); ++d) {
+        Bytes b = writers[d].take();
+        if (d != ur) sent += b.size();
+        outgoing.push_back(std::move(b));
+      }
+      rec.add_bytes(kRedistribute, sent);
+      const std::vector<Bytes> incoming = comm.all_to_all(std::move(outgoing));
+      for (const Bytes& b : incoming) {
+        ByteReader rd(b);
+        const std::uint32_t k = rd.u32();
+        for (std::uint32_t i = 0; i < k; ++i) bucket.push_back(read_item(rd));
+      }
+      sort_items(bucket);
+    }
+
+    // Step 11: sequential MSA on the bucket.
+    rec.begin(kLocalAlign);
+    Alignment local_aln;
+    {
+      std::vector<Sequence> bucket_seqs;
+      bucket_seqs.reserve(bucket.size());
+      for (const auto& it : bucket) bucket_seqs.push_back(it.seq);
+      if (!bucket_seqs.empty())
+        local_aln = config_.local_aligner->align(bucket_seqs);
+    }
+
+    if (config_.ancestor_refinement) {
+      // Step 12: local ancestor.
+      rec.begin(kAncestorExtract);
+      Sequence ancestor("ancestor_" + std::to_string(r),
+                        std::vector<std::uint8_t>{},
+                        local_aln.empty() ? bio::AlphabetKind::AminoAcid
+                                          : local_aln.alphabet_kind());
+      if (!local_aln.empty())
+        ancestor = msa::consensus_sequence(
+            local_aln, "ancestor_" + std::to_string(r), config_.consensus);
+
+      // Step 13: gather ancestors; root aligns them into the global
+      // ancestor and broadcasts it.
+      rec.begin(kAncestorGather);
+      Bytes ga_msg;
+      {
+        ByteWriter w;
+        par::write_sequence(w, ancestor);
+        Bytes payload = w.take();
+        rec.add_bytes(kAncestorGather, r == 0 ? 0 : payload.size());
+        const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
+        if (r == 0) {
+          rec.begin(kAncestorAlign);
+          std::vector<Sequence> ancestors;
+          for (const Bytes& b : gathered) {
+            ByteReader rd(b);
+            Sequence a = par::read_sequence(rd);
+            if (!a.empty()) ancestors.push_back(std::move(a));
+          }
+          Sequence ga("global_ancestor", std::vector<std::uint8_t>{},
+                      bio::AlphabetKind::AminoAcid);
+          if (ancestors.size() == 1) {
+            ga = Sequence("global_ancestor",
+                          std::vector<std::uint8_t>(
+                              ancestors[0].codes().begin(),
+                              ancestors[0].codes().end()),
+                          ancestors[0].alphabet_kind());
+          } else if (!ancestors.empty()) {
+            const Alignment anc_aln = config_.local_aligner->align(ancestors);
+            ga = msa::consensus_sequence(anc_aln, "global_ancestor",
+                                         config_.consensus);
+          }
+          ByteWriter gw;
+          par::write_sequence(gw, ga);
+          ga_msg = gw.take();
+          rec.add_bytes(kAncestorBcast,
+                        ga_msg.size() * static_cast<std::size_t>(p - 1));
+        }
+      }
+      rec.begin(kAncestorBcast);
+      ga_msg = comm.broadcast(0, std::move(ga_msg));
+      Sequence ga = [&] {
+        ByteReader rd(ga_msg);
+        return par::read_sequence(rd);
+      }();
+
+      // Step 14: tweak — profile-profile align the local alignment against
+      // the global-ancestor profile.
+      rec.begin(kTweak);
+      std::vector<EditOp> path;
+      if (!local_aln.empty()) {
+        const msa::Profile pl(local_aln, *config_.matrix);
+        if (ga.empty()) {
+          path.assign(local_aln.num_cols(), EditOp::GapInB);
+        } else {
+          const msa::Profile pg(Alignment::from_sequence(ga), *config_.matrix);
+          msa::ProfileAlignOptions po;
+          po.gaps = config_.matrix->default_gaps();
+          path = msa::align_profiles(pl, pg, po).ops;
+        }
+      } else if (!ga.empty()) {
+        path.assign(ga.size(), EditOp::GapInA);
+      }
+
+      // Step 15: glue at the root.
+      rec.begin(kGlueGather);
+      {
+        ByteWriter w;
+        par::write_alignment(w, local_aln);
+        const Bytes ops_bytes = encode_ops(path);
+        w.bytes(ops_bytes);
+        Bytes payload = w.take();
+        rec.add_bytes(kGlueGather, r == 0 ? 0 : payload.size());
+        const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
+        if (r == 0) {
+          rec.begin(kGlue);
+          std::vector<Alignment> locals;
+          std::vector<std::vector<EditOp>> paths;
+          for (const Bytes& b : gathered) {
+            ByteReader rd(b);
+            locals.push_back(par::read_alignment(rd));
+            const Bytes ob = rd.bytes();
+            ByteReader ord(ob);
+            paths.push_back(decode_ops(ord));
+          }
+          Alignment glued = glue_on_ancestor(locals, paths, ga.size(),
+                                             seqs[0].alphabet_kind());
+          // Restore input order.
+          std::vector<std::pair<std::size_t, std::size_t>> order;
+          order.reserve(glued.num_rows());
+          for (std::size_t row = 0; row < glued.num_rows(); ++row)
+            order.emplace_back(pos_of_id.at(glued.row(row).id), row);
+          std::sort(order.begin(), order.end());
+          std::vector<std::size_t> rows;
+          rows.reserve(order.size());
+          for (const auto& [pos, row] : order) rows.push_back(row);
+          result = glued.subset(rows);
+        }
+      }
+    } else {
+      // Ablation: no ancestor constraint — gather raw bucket alignments and
+      // concatenate block-diagonally.
+      rec.begin(kGlueGather);
+      ByteWriter w;
+      par::write_alignment(w, local_aln);
+      Bytes payload = w.take();
+      rec.add_bytes(kGlueGather, r == 0 ? 0 : payload.size());
+      const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
+      if (r == 0) {
+        rec.begin(kGlue);
+        std::vector<Alignment> locals;
+        for (const Bytes& b : gathered) {
+          ByteReader rd(b);
+          locals.push_back(par::read_alignment(rd));
+        }
+        Alignment glued =
+            glue_block_diagonal(locals, seqs[0].alphabet_kind());
+        std::vector<std::pair<std::size_t, std::size_t>> order;
+        for (std::size_t row = 0; row < glued.num_rows(); ++row)
+          order.emplace_back(pos_of_id.at(glued.row(row).id), row);
+        std::sort(order.begin(), order.end());
+        std::vector<std::size_t> rows;
+        rows.reserve(order.size());
+        for (const auto& [pos, row] : order) rows.push_back(row);
+        result = glued.subset(rows);
+      }
+    }
+
+    // Future-work refinement (paper §5): root-side re-alignment of the most
+    // divergent rows against the global profile.
+    if (r == 0 && config_.polish_divergent && result.num_rows() >= 3) {
+      rec.begin(kPolish);
+      (void)msa::polish_divergent_rows(result, *config_.matrix,
+                                       config_.polish);
+    }
+    rec.end();
+
+    // Stats: every rank reports its stage record and bucket size.
+    const std::vector<Bytes> blobs =
+        comm.gather(0, rec.serialize(bucket.size()));
+    if (r == 0) stat_blobs = blobs;
+  });
+
+  if (stats) {
+    stats->bucket_sizes.resize(static_cast<std::size_t>(p));
+    for (int s = 0; s < kNumStages; ++s)
+      stats->stages[static_cast<std::size_t>(s)].rank_seconds.assign(
+          static_cast<std::size_t>(p), 0.0);
+    for (std::size_t rank = 0; rank < stat_blobs.size(); ++rank) {
+      ByteReader rd(stat_blobs[rank]);
+      stats->bucket_sizes[rank] = rd.u64();
+      for (int s = 0; s < kNumStages; ++s) {
+        auto& stage = stats->stages[static_cast<std::size_t>(s)];
+        stage.rank_seconds[rank] = rd.f64();
+        const std::uint64_t bytes = rd.u64();
+        stage.total_bytes += bytes;
+        stage.max_bytes_per_rank = std::max(stage.max_bytes_per_rank, bytes);
+      }
+    }
+    stats->wall_seconds = wall.seconds();
+  }
+
+  result.validate();
+  return result;
+}
+
+}  // namespace salign::core

@@ -1,0 +1,97 @@
+#include "core/sample_sort.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/partition.hpp"
+#include "par/cluster.hpp"
+
+namespace salign::core {
+
+std::vector<double> parallel_sample_sort(std::vector<double> data, int p) {
+  if (p <= 0) throw std::invalid_argument("parallel_sample_sort: p must be > 0");
+  if (p == 1 || data.size() <= static_cast<std::size_t>(p)) {
+    std::sort(data.begin(), data.end());
+    return data;
+  }
+
+  const std::size_t n = data.size();
+  const std::size_t chunk = (n + static_cast<std::size_t>(p) - 1) /
+                            static_cast<std::size_t>(p);
+  std::vector<double> result;
+  std::mutex result_mutex;
+  std::vector<std::vector<double>> sorted_buckets(static_cast<std::size_t>(p));
+
+  par::Cluster cluster(p);
+  cluster.run([&](par::Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const std::size_t begin = std::min(n, r * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    std::vector<double> local(data.begin() + static_cast<long>(begin),
+                              data.begin() + static_cast<long>(end));
+    std::sort(local.begin(), local.end());
+
+    // Phase 1: regular samples to the root; pivots back.
+    const std::vector<double> samples =
+        regular_samples(local, static_cast<std::size_t>(p - 1));
+    par::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(samples.size()));
+    for (double s : samples) w.f64(s);
+    const std::vector<par::Bytes> gathered = comm.gather(0, w.take());
+
+    par::Bytes pivot_msg;
+    if (comm.rank() == 0) {
+      std::vector<double> all;
+      for (const auto& b : gathered) {
+        par::ByteReader rd(b);
+        const std::uint32_t k = rd.u32();
+        for (std::uint32_t i = 0; i < k; ++i) all.push_back(rd.f64());
+      }
+      const std::vector<double> pivots = choose_pivots(std::move(all), p);
+      par::ByteWriter pw;
+      pw.u32(static_cast<std::uint32_t>(pivots.size()));
+      for (double v : pivots) pw.f64(v);
+      pivot_msg = pw.take();
+    }
+    pivot_msg = comm.broadcast(0, std::move(pivot_msg));
+    std::vector<double> pivots;
+    {
+      par::ByteReader rd(pivot_msg);
+      const std::uint32_t k = rd.u32();
+      pivots.reserve(k);
+      for (std::uint32_t i = 0; i < k; ++i) pivots.push_back(rd.f64());
+    }
+
+    // Phase 2: bucket exchange.
+    std::vector<par::ByteWriter> writers(static_cast<std::size_t>(p));
+    std::vector<std::uint32_t> counts(static_cast<std::size_t>(p), 0);
+    for (double v : local) ++counts[bucket_of(v, pivots)];
+    for (std::size_t d = 0; d < writers.size(); ++d) writers[d].u32(counts[d]);
+    for (double v : local) writers[bucket_of(v, pivots)].f64(v);
+    std::vector<par::Bytes> outgoing;
+    outgoing.reserve(writers.size());
+    for (auto& wr : writers) outgoing.push_back(wr.take());
+    const std::vector<par::Bytes> incoming = comm.all_to_all(std::move(outgoing));
+
+    std::vector<double> bucket;
+    for (const auto& b : incoming) {
+      par::ByteReader rd(b);
+      const std::uint32_t k = rd.u32();
+      for (std::uint32_t i = 0; i < k; ++i) bucket.push_back(rd.f64());
+    }
+    std::sort(bucket.begin(), bucket.end());
+
+    {
+      const std::lock_guard<std::mutex> lock(result_mutex);
+      sorted_buckets[r] = std::move(bucket);
+    }
+  });
+
+  result.reserve(n);
+  for (const auto& b : sorted_buckets)
+    result.insert(result.end(), b.begin(), b.end());
+  return result;
+}
+
+}  // namespace salign::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+namespace salign::core {
+
+/// Parallel sorting by regular sampling (PSRS) over doubles, run on the
+/// in-process cluster runtime with `p` ranks.
+///
+/// This is the SampleSort scheme the paper derives its sequence
+/// redistribution from [13, 26]; it exists in the library both as a usable
+/// utility and as the test oracle for the partitioning machinery (result
+/// must equal std::sort, every bucket must respect the 2N/p bound for
+/// distinct keys).
+[[nodiscard]] std::vector<double> parallel_sample_sort(
+    std::vector<double> data, int p);
+
+}  // namespace salign::core

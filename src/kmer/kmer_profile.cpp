@@ -1,0 +1,92 @@
+#include "kmer/kmer_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace salign::kmer {
+
+KmerProfile KmerProfile::from_sequence(const bio::Sequence& seq,
+                                       const KmerParams& params) {
+  if (params.k <= 0) throw std::invalid_argument("KmerParams.k must be > 0");
+  const bool compress = params.compressed &&
+                        seq.alphabet_kind() == bio::AlphabetKind::AminoAcid;
+  const bio::Alphabet& alpha =
+      compress ? bio::Alphabet::compressed14() : seq.alphabet();
+  const auto base = static_cast<std::uint64_t>(alpha.size());
+  const std::uint8_t wildcard = alpha.wildcard();
+
+  // Guard against k-mer id overflow in 32 bits (base^k must fit).
+  std::uint64_t space = 1;
+  for (int i = 0; i < params.k; ++i) {
+    space *= base;
+    if (space > (1ULL << 32))
+      throw std::invalid_argument("KmerParams.k too large for alphabet");
+  }
+
+  KmerProfile p;
+  p.length_ = seq.size();
+  p.k_ = params.k;
+  if (seq.size() < static_cast<std::size_t>(params.k)) return p;
+
+  std::vector<std::uint32_t> ids;
+  ids.reserve(seq.size());
+  const auto k = static_cast<std::size_t>(params.k);
+  for (std::size_t i = 0; i + k <= seq.size(); ++i) {
+    std::uint64_t id = 0;
+    bool ok = true;
+    for (std::size_t j = 0; j < k; ++j) {
+      std::uint8_t c = seq.code(i + j);
+      if (compress) c = alpha.compress_amino(c);
+      if (c == wildcard) {
+        ok = false;
+        break;
+      }
+      id = id * base + c;
+    }
+    if (ok) ids.push_back(static_cast<std::uint32_t>(id));
+  }
+
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size();) {
+    std::size_t j = i;
+    while (j < ids.size() && ids[j] == ids[i]) ++j;
+    p.counts_.emplace_back(ids[i], static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  return p;
+}
+
+double KmerProfile::similarity(const KmerProfile& other) const {
+  if (k_ != other.k_)
+    throw std::invalid_argument("KmerProfile: mismatched k");
+  const std::size_t min_len = std::min(length_, other.length_);
+  if (min_len < static_cast<std::size_t>(k_)) return 0.0;
+
+  std::uint64_t shared = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < counts_.size() && j < other.counts_.size()) {
+    if (counts_[i].first < other.counts_[j].first) {
+      ++i;
+    } else if (counts_[i].first > other.counts_[j].first) {
+      ++j;
+    } else {
+      shared += std::min(counts_[i].second, other.counts_[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  const auto denom =
+      static_cast<double>(min_len - static_cast<std::size_t>(k_) + 1);
+  return static_cast<double>(shared) / denom;
+}
+
+std::vector<KmerProfile> build_profiles(std::span<const bio::Sequence> seqs,
+                                        const KmerParams& params) {
+  std::vector<KmerProfile> out;
+  out.reserve(seqs.size());
+  for (const auto& s : seqs) out.push_back(KmerProfile::from_sequence(s, params));
+  return out;
+}
+
+}  // namespace salign::kmer

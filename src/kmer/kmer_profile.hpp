@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace salign::kmer {
+
+/// Parameters of the k-mer similarity index.
+///
+/// The paper (following Edgar, NAR 2004) counts contiguous k-mers, optionally
+/// over a compressed amino-acid alphabet, which keeps sensitivity for
+/// divergent sequences while shrinking the k-mer space. k = 4 on the
+/// 14-letter compressed alphabet is a good default for protein lengths
+/// around 300 (the paper's regime).
+struct KmerParams {
+  int k = 4;
+  /// Count over the SE-B(14)-style compressed alphabet (proteins only).
+  bool compressed = true;
+};
+
+/// Sparse k-mer count vector of one sequence: sorted (kmer-id, count) pairs.
+///
+/// Windows containing the alphabet wildcard are skipped. Profiles are the
+/// unit of comparison for the k-mer fractional-identity measure
+///   r(x, y) = sum_tau min(n_x(tau), n_y(tau)) / (min(|x|,|y|) - k + 1)
+/// which is the exact formula in the paper's "k-mer Rank" definition.
+class KmerProfile {
+ public:
+  KmerProfile() = default;
+
+  static KmerProfile from_sequence(const bio::Sequence& seq,
+                                   const KmerParams& params);
+
+  /// Fraction of common k-mers r(x, y) in [0, 1]. Sequences shorter than k
+  /// yield 0 (no shared k-mer evidence).
+  [[nodiscard]] double similarity(const KmerProfile& other) const;
+
+  /// Residue length of the originating sequence.
+  [[nodiscard]] std::size_t length() const { return length_; }
+  [[nodiscard]] int k() const { return k_; }
+  /// Number of distinct k-mers.
+  [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
+  [[nodiscard]] std::span<const std::pair<std::uint32_t, std::uint32_t>>
+  counts() const {
+    return counts_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> counts_;
+  std::size_t length_ = 0;
+  int k_ = 0;
+};
+
+/// Builds profiles for a whole set with shared parameters.
+[[nodiscard]] std::vector<KmerProfile> build_profiles(
+    std::span<const bio::Sequence> seqs, const KmerParams& params);
+
+}  // namespace salign::kmer

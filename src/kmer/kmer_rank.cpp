@@ -1,0 +1,57 @@
+#include "kmer/kmer_rank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace salign::kmer {
+
+double rank_from_mean_similarity(double mean_similarity) {
+  if (mean_similarity < 0.0 || mean_similarity > 1.0 + 1e-9)
+    throw std::invalid_argument("mean similarity outside [0, 1]");
+  return -std::log(0.1 + mean_similarity);
+}
+
+double mean_similarity(const KmerProfile& x,
+                       std::span<const KmerProfile> refs) {
+  if (refs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : refs) sum += x.similarity(r);
+  return sum / static_cast<double>(refs.size());
+}
+
+std::vector<double> ranks_against(std::span<const KmerProfile> seqs,
+                                  std::span<const KmerProfile> refs) {
+  std::vector<double> out;
+  out.reserve(seqs.size());
+  for (const auto& p : seqs)
+    out.push_back(rank_from_mean_similarity(mean_similarity(p, refs)));
+  return out;
+}
+
+std::vector<double> centralized_ranks(std::span<const bio::Sequence> seqs,
+                                      const KmerParams& params) {
+  const std::vector<KmerProfile> profiles = build_profiles(seqs, params);
+  return ranks_against(profiles, profiles);
+}
+
+std::vector<double> globalized_ranks(std::span<const bio::Sequence> seqs,
+                                     std::span<const bio::Sequence> samples,
+                                     const KmerParams& params) {
+  const std::vector<KmerProfile> profiles = build_profiles(seqs, params);
+  const std::vector<KmerProfile> refs = build_profiles(samples, params);
+  return ranks_against(profiles, refs);
+}
+
+util::SymmetricMatrix<double> distance_matrix(
+    std::span<const bio::Sequence> seqs, const KmerParams& params) {
+  const std::vector<KmerProfile> profiles = build_profiles(seqs, params);
+  util::SymmetricMatrix<double> d(seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    d(i, i) = 0.0;
+    for (std::size_t j = 0; j < i; ++j)
+      d(i, j) = 1.0 - profiles[i].similarity(profiles[j]);
+  }
+  return d;
+}
+
+}  // namespace salign::kmer

@@ -1,0 +1,130 @@
+#include "msa/clustal_format.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace salign::msa {
+
+namespace {
+
+// The ClustalX conservation groups (Thompson et al.; shipped unchanged in
+// every ClustalX release). A column scores ':' when all its residues fall
+// in one strong group, '.' when in one weak group.
+constexpr std::array<std::string_view, 9> kStrongGroups{
+    "STA", "NEQK", "NHQK", "NDEQ", "QHRK", "MILV", "MILF", "HY", "FYW"};
+constexpr std::array<std::string_view, 11> kWeakGroups{
+    "CSA",    "ATV",    "SAG",    "STNK", "STPA", "SGND",
+    "SNDEQK", "NDEQHK", "NEQHRK", "FVLIM", "HFY"};
+
+template <std::size_t N>
+bool column_in_one_group(const std::array<std::string_view, N>& groups,
+                         std::string_view residues) {
+  return std::any_of(groups.begin(), groups.end(), [&](std::string_view g) {
+    return std::all_of(residues.begin(), residues.end(), [&](char r) {
+      return g.find(r) != std::string_view::npos;
+    });
+  });
+}
+
+}  // namespace
+
+std::string conservation_symbols(const Alignment& aln) {
+  const bio::Alphabet& alpha = aln.alphabet();
+  std::string symbols(aln.num_cols(), ' ');
+  std::string residues;
+  for (std::size_t c = 0; c < aln.num_cols(); ++c) {
+    residues.clear();
+    bool has_gap = false;
+    for (std::size_t r = 0; r < aln.num_rows(); ++r) {
+      if (aln.is_gap(r, c)) {
+        has_gap = true;
+        break;
+      }
+      residues.push_back(alpha.decode(aln.cell(r, c)));
+    }
+    if (has_gap || residues.empty()) continue;
+    if (std::all_of(residues.begin(), residues.end(),
+                    [&](char ch) { return ch == residues.front(); })) {
+      symbols[c] = '*';
+    } else if (column_in_one_group(kStrongGroups, residues)) {
+      symbols[c] = ':';
+    } else if (column_in_one_group(kWeakGroups, residues)) {
+      symbols[c] = '.';
+    }
+  }
+  return symbols;
+}
+
+void write_clustal(std::ostream& out, const Alignment& aln,
+                   const ClustalWriteOptions& opts) {
+  if (opts.block_width == 0)
+    throw std::invalid_argument("write_clustal: block_width must be > 0");
+  out << "CLUSTAL multiple sequence alignment (salign)\n\n";
+  if (aln.empty()) return;
+
+  std::size_t name_width = 0;
+  for (const auto& row : aln.rows())
+    name_width = std::max(name_width, row.id.size());
+
+  std::vector<std::string> texts;
+  texts.reserve(aln.num_rows());
+  for (std::size_t r = 0; r < aln.num_rows(); ++r)
+    texts.push_back(aln.row_text(r));
+  const std::string symbols =
+      opts.conservation_line ? conservation_symbols(aln) : std::string();
+
+  for (std::size_t c0 = 0; c0 < aln.num_cols(); c0 += opts.block_width) {
+    const std::size_t len = std::min(opts.block_width, aln.num_cols() - c0);
+    for (std::size_t r = 0; r < aln.num_rows(); ++r)
+      out << aln.row(r).id
+          << std::string(name_width - aln.row(r).id.size() + 3, ' ')
+          << texts[r].substr(c0, len) << "\n";
+    if (opts.conservation_line)
+      out << std::string(name_width + 3, ' ') << symbols.substr(c0, len)
+          << "\n";
+    out << "\n";
+  }
+}
+
+Alignment read_clustal(std::istream& in, bio::AlphabetKind kind) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("CLUSTAL", 0) != 0)
+    throw std::runtime_error(
+        "read_clustal: missing CLUSTAL header line");
+
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::unordered_map<std::string, std::size_t> index;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Conservation footers are indented past the name column.
+    if (std::isspace(static_cast<unsigned char>(line.front()))) continue;
+    std::istringstream fields(line);
+    std::string name;
+    std::string fragment;
+    fields >> name >> fragment;
+    if (fragment.empty())
+      throw std::runtime_error("read_clustal: malformed row: " + line);
+    // Optional trailing cumulative residue count (ClustalW's -OUTPUT flag).
+    std::string tail;
+    if (fields >> tail &&
+        !std::all_of(tail.begin(), tail.end(), [](char ch) {
+          return std::isdigit(static_cast<unsigned char>(ch));
+        }))
+      throw std::runtime_error("read_clustal: malformed row: " + line);
+    const auto [it, inserted] = index.emplace(name, rows.size());
+    if (inserted) rows.emplace_back(name, "");
+    rows[it->second].second += fragment;
+  }
+  return Alignment::from_texts(rows, kind);
+}
+
+}  // namespace salign::msa

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "msa/alignment.hpp"
+
+namespace salign::msa {
+
+/// Options of the Clustal writer.
+struct ClustalWriteOptions {
+  /// Residues per block (Clustal tools conventionally use 60).
+  std::size_t block_width = 60;
+  /// Emit the per-block conservation footer ('*', ':', '.', ' ').
+  bool conservation_line = true;
+};
+
+/// ClustalX-style per-column conservation symbols, one char per column:
+/// '*' fully conserved residue (no gaps), ':' all residues share a "strong"
+/// group, '.' a "weak" group, ' ' otherwise (gap-containing columns are
+/// never marked). Uses the standard ClustalX strong/weak amino-acid groups.
+[[nodiscard]] std::string conservation_symbols(const Alignment& aln);
+
+/// Writes the alignment in CLUSTAL interchange format — the output format
+/// of the CLUSTALW baseline the paper compares against (Table 2), and the
+/// lingua franca of MSA viewers of that era. Blocked layout: id column,
+/// `block_width` residues per line, optional conservation footer.
+void write_clustal(std::ostream& out, const Alignment& aln,
+                   const ClustalWriteOptions& opts = {});
+
+/// Reads CLUSTAL format (header line starting with "CLUSTAL", per-block
+/// "name fragment [count]" rows; conservation/blank lines skipped).
+/// Fragments accumulate per name in first-appearance order. Throws
+/// std::runtime_error on a missing header, ragged rows, or inconsistent
+/// block structure.
+[[nodiscard]] Alignment read_clustal(
+    std::istream& in, bio::AlphabetKind kind = bio::AlphabetKind::AminoAcid);
+
+}  // namespace salign::msa

@@ -1,0 +1,64 @@
+#include "msa/clustalw_like.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "align/banded.hpp"
+#include "align/distance.hpp"
+#include "align/global.hpp"
+#include "msa/guide_tree.hpp"
+#include "msa/progressive.hpp"
+#include "util/matrix.hpp"
+
+namespace salign::msa {
+
+ClustalWAligner::ClustalWAligner(ClustalWOptions options,
+                                 const bio::SubstitutionMatrix& matrix)
+    : options_(options), matrix_(&matrix) {}
+
+Alignment ClustalWAligner::align(std::span<const bio::Sequence> seqs) const {
+  if (seqs.empty())
+    throw std::invalid_argument("ClustalWAligner: no sequences");
+  if (seqs.size() == 1) return Alignment::from_sequence(seqs[0]);
+
+  const std::size_t n = seqs.size();
+  const bio::GapPenalties gaps = matrix_->default_gaps();
+
+  // Stage 1: all-pairs alignment distances.
+  util::SymmetricMatrix<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d(i, i) = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const align::PairwiseAlignment pw =
+          options_.pairwise_band > 0
+              ? align::banded_global_align(seqs[i].codes(), seqs[j].codes(),
+                                           *matrix_, gaps,
+                                           options_.pairwise_band)
+              : align::global_align(seqs[i].codes(), seqs[j].codes(),
+                                    *matrix_, gaps);
+      const double identity =
+          align::fractional_identity(seqs[i].codes(), seqs[j].codes(), pw.ops);
+      d(i, j) = align::kimura_distance(identity);
+    }
+  }
+
+  // Stage 2 + 3: NJ tree and branch-proportional weights.
+  const GuideTree tree = GuideTree::neighbor_joining(d);
+  ProgressiveOptions po;
+  po.gaps = gaps;
+  po.weights = tree.leaf_weights();
+
+  // Stage 4: progressive alignment, rows restored to input order.
+  Alignment aln = progressive_align(seqs, tree, *matrix_, po);
+  std::unordered_map<std::string, std::size_t> row_by_id;
+  for (std::size_t r = 0; r < aln.num_rows(); ++r)
+    row_by_id.emplace(aln.row(r).id, r);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (const auto& s : seqs) order.push_back(row_by_id.at(s.id()));
+  aln = aln.subset(order);
+  aln.validate();
+  return aln;
+}
+
+}  // namespace salign::msa

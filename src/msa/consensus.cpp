@@ -1,0 +1,39 @@
+#include "msa/consensus.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace salign::msa {
+
+bio::Sequence consensus_sequence(const Alignment& aln, const std::string& id,
+                                 const ConsensusOptions& opts) {
+  if (aln.empty()) throw std::invalid_argument("consensus: empty alignment");
+  const std::size_t rows = aln.num_rows();
+  const std::size_t cols = aln.num_cols();
+  const int alpha_size = aln.alphabet().size();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(cols);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(alpha_size));
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::fill(counts.begin(), counts.end(), 0);
+    std::size_t gaps = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::uint8_t code = aln.cell(r, c);
+      if (code == Alignment::kGap)
+        ++gaps;
+      else
+        ++counts[code];
+    }
+    if (static_cast<double>(gaps) >
+        opts.max_gap_fraction * static_cast<double>(rows))
+      continue;
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < counts.size(); ++a)
+      if (counts[a] > counts[best]) best = a;
+    out.push_back(static_cast<std::uint8_t>(best));
+  }
+  return bio::Sequence(id, std::move(out), aln.alphabet_kind());
+}
+
+}  // namespace salign::msa

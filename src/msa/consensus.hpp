@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "bio/sequence.hpp"
+#include "msa/alignment.hpp"
+
+namespace salign::msa {
+
+/// Options for ancestor/consensus extraction.
+struct ConsensusOptions {
+  /// Columns whose gap fraction exceeds this threshold are dropped from the
+  /// consensus (they represent insertions private to few sequences and
+  /// should not constrain other buckets).
+  double max_gap_fraction = 0.5;
+};
+
+/// Extracts the majority-residue consensus of an alignment — the "local
+/// ancestor" of the Sample-Align-D pipeline (the paper's step "Broadcast the
+/// Local Ancestor to the root processor"). Treating the consensus of a
+/// locally aligned bucket as an estimate of the subset's ancestral sequence
+/// follows the root-profile idea of MUSCLE [12] / PSI-BLAST [19] that the
+/// paper invokes.
+///
+/// Ties are broken toward the lower residue code (deterministic).
+[[nodiscard]] bio::Sequence consensus_sequence(
+    const Alignment& aln, const std::string& id,
+    const ConsensusOptions& opts = {});
+
+}  // namespace salign::msa

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "bio/sequence.hpp"
+#include "msa/alignment.hpp"
+
+namespace salign::msa {
+
+/// Abstract sequential multiple-sequence aligner.
+///
+/// The Sample-Align-D pipeline is parameterized over this interface — the
+/// paper's step "Align sequences in each processor using any sequential
+/// multiple alignment system". Implementations in this library:
+/// MuscleAligner (the paper's choice), ClustalWAligner, TCoffeeAligner and
+/// MafftAligner (Table 2 comparators).
+///
+/// Contract: align() returns an Alignment whose rows degap to exactly the
+/// input sequences, in input order, and must be deterministic.
+class MsaAlgorithm {
+ public:
+  virtual ~MsaAlgorithm() = default;
+
+  [[nodiscard]] virtual Alignment align(
+      std::span<const bio::Sequence> seqs) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The default sequential aligner used by the pipeline (MiniMuscle with the
+/// paper's configuration: k-mer distances, UPGMA, PSP progressive pass,
+/// no refinement — matching the MUSCLE timings the paper quotes, which are
+/// "without refinement").
+[[nodiscard]] std::shared_ptr<const MsaAlgorithm> make_default_aligner();
+
+}  // namespace salign::msa

@@ -1,0 +1,129 @@
+#include "msa/muscle_like.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "align/distance.hpp"
+#include "kmer/kmer_rank.hpp"
+#include "msa/guide_tree.hpp"
+#include "msa/progressive.hpp"
+#include "msa/refinement.hpp"
+
+namespace salign::msa {
+
+namespace {
+
+/// Kimura distances from the identities induced by an existing alignment —
+/// much cheaper than re-aligning pairs, and exactly MUSCLE's stage-2 trick.
+util::SymmetricMatrix<double> induced_kimura_distances(const Alignment& aln) {
+  const std::size_t n = aln.num_rows();
+  util::SymmetricMatrix<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d(i, i) = 0.0;
+    const auto& a = aln.row(i).cells;
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto& b = aln.row(j).cells;
+      std::size_t cols = 0;
+      std::size_t matches = 0;
+      for (std::size_t c = 0; c < a.size(); ++c) {
+        if (a[c] == Alignment::kGap || b[c] == Alignment::kGap) continue;
+        ++cols;
+        if (a[c] == b[c]) ++matches;
+      }
+      const double identity =
+          cols == 0 ? 0.0
+                    : static_cast<double>(matches) / static_cast<double>(cols);
+      d(i, j) = align::kimura_distance(identity);
+    }
+  }
+  return d;
+}
+
+/// Restores input order: progressive emits rows in tree leaf order.
+Alignment reorder_to_input(const Alignment& aln,
+                           std::span<const bio::Sequence> seqs) {
+  std::unordered_map<std::string, std::size_t> row_by_id;
+  for (std::size_t r = 0; r < aln.num_rows(); ++r)
+    row_by_id.emplace(aln.row(r).id, r);
+  std::vector<std::size_t> order;
+  order.reserve(seqs.size());
+  for (const auto& s : seqs) {
+    const auto it = row_by_id.find(s.id());
+    if (it == row_by_id.end())
+      throw std::logic_error("MuscleAligner: lost sequence " + s.id());
+    order.push_back(it->second);
+  }
+  return aln.subset(order);
+}
+
+/// row_of_leaf map for refinement after reordering to input order: leaf i of
+/// the tree is sequence i, which is row i.
+std::vector<std::size_t> identity_rows(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+}  // namespace
+
+MuscleAligner::MuscleAligner(MuscleOptions options,
+                             const bio::SubstitutionMatrix& matrix)
+    : options_(options), matrix_(&matrix) {}
+
+std::string MuscleAligner::name() const {
+  std::string n = "MiniMuscle";
+  if (options_.refine_passes > 0) n += "+refine";
+  return n;
+}
+
+Alignment MuscleAligner::align(std::span<const bio::Sequence> seqs) const {
+  if (seqs.empty()) throw std::invalid_argument("MuscleAligner: no sequences");
+  if (seqs.size() == 1) return Alignment::from_sequence(seqs[0]);
+
+  {
+    std::unordered_map<std::string, int> ids;
+    for (const auto& s : seqs)
+      if (++ids[s.id()] > 1)
+        throw std::invalid_argument("MuscleAligner: duplicate id " + s.id());
+  }
+
+  // Stage 1: k-mer distances -> UPGMA -> progressive.
+  const util::SymmetricMatrix<double> kd =
+      kmer::distance_matrix(seqs, options_.kmer);
+  GuideTree tree = GuideTree::upgma(kd);
+  ProgressiveOptions po;
+  po.gaps = matrix_->default_gaps();
+  po.weights = tree.leaf_weights();
+  Alignment aln = progressive_align(seqs, tree, *matrix_, po);
+
+  // Stage 2: Kimura distances from the stage-1 alignment, rebuilt tree,
+  // re-aligned.
+  if (options_.reestimate_tree) {
+    aln = reorder_to_input(aln, seqs);
+    const util::SymmetricMatrix<double> kim = induced_kimura_distances(aln);
+    tree = GuideTree::upgma(kim);
+    po.weights = tree.leaf_weights();
+    aln = progressive_align(seqs, tree, *matrix_, po);
+  }
+
+  aln = reorder_to_input(aln, seqs);
+
+  // Stage 3: optional refinement (rows are in input order == leaf order).
+  if (options_.refine_passes > 0) {
+    RefineOptions ro;
+    ro.passes = options_.refine_passes;
+    ro.gaps = matrix_->default_gaps();
+    const auto rows = identity_rows(seqs.size());
+    std::vector<double> weights = tree.leaf_weights();
+    refine(aln, tree, rows, *matrix_, ro, weights);
+  }
+
+  aln.validate();
+  return aln;
+}
+
+std::shared_ptr<const MsaAlgorithm> make_default_aligner() {
+  return std::make_shared<MuscleAligner>();
+}
+
+}  // namespace salign::msa

@@ -1,0 +1,290 @@
+#include "msa/pairhmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/matrix.hpp"
+
+namespace salign::msa {
+
+namespace {
+
+constexpr double kLogZero = -std::numeric_limits<double>::infinity();
+
+/// log(exp(x) + exp(y)) without overflow; tolerates -inf operands.
+double log_add(double x, double y) {
+  if (x == kLogZero) return y;
+  if (y == kLogZero) return x;
+  const double hi = std::max(x, y);
+  const double lo = std::min(x, y);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_add3(double x, double y, double z) {
+  return log_add(log_add(x, y), z);
+}
+
+}  // namespace
+
+// ---- SparsePosterior -------------------------------------------------------
+
+SparsePosterior::SparsePosterior(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  row_start_.reserve(rows + 1);
+}
+
+float SparsePosterior::at(std::size_t i, std::size_t j) const {
+  const std::span<const Entry> r = row(i);
+  const auto it = std::lower_bound(
+      r.begin(), r.end(), j,
+      [](const Entry& e, std::size_t col) { return e.col < col; });
+  if (it != r.end() && it->col == j) return it->prob;
+  return 0.0F;
+}
+
+double SparsePosterior::total() const {
+  double sum = 0.0;
+  for (const Entry& e : entries_) sum += e.prob;
+  return sum;
+}
+
+SparsePosterior SparsePosterior::transposed() const {
+  SparsePosterior out(cols_, rows());
+  // Counting sort by column: stable, keeps ascending row order per column.
+  std::vector<std::size_t> counts(cols_ + 1, 0);
+  for (const Entry& e : entries_) ++counts[e.col + 1];
+  for (std::size_t c = 0; c < cols_; ++c) counts[c + 1] += counts[c];
+  out.entries_.resize(entries_.size());
+  for (std::size_t i = 0; i < rows(); ++i)
+    for (const Entry& e : row(i))
+      out.entries_[counts[e.col]++] =
+          Entry{static_cast<std::uint32_t>(i), e.prob};
+  // counts[c] now holds the end of column c's run == start of c+1.
+  out.row_start_.assign(cols_ + 1, 0);
+  for (std::size_t c = 0; c < cols_; ++c) out.row_start_[c + 1] = counts[c];
+  return out;
+}
+
+void SparsePosterior::append_row(std::span<const Entry> entries) {
+  if (row_start_.size() > rows_)
+    throw std::logic_error("SparsePosterior: all rows already appended");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].col >= cols_)
+      throw std::out_of_range("SparsePosterior: column out of range");
+    if (i > 0 && entries[i].col <= entries[i - 1].col)
+      throw std::invalid_argument("SparsePosterior: row not ascending");
+  }
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+  row_start_.push_back(entries_.size());
+}
+
+// ---- PairHmm ---------------------------------------------------------------
+
+PairHmm::PairHmm(const bio::SubstitutionMatrix& matrix, PairHmmParams params)
+    : matrix_(&matrix), params_(params) {
+  if (params_.gap_open <= 0.0 || params_.gap_open >= 0.5)
+    throw std::invalid_argument("PairHmm: gap_open must be in (0, 0.5)");
+  if (params_.gap_extend <= 0.0 || params_.gap_extend >= 1.0)
+    throw std::invalid_argument("PairHmm: gap_extend must be in (0, 1)");
+  if (params_.temperature <= 0.0)
+    throw std::invalid_argument("PairHmm: temperature must be positive");
+
+  const bio::Alphabet& alpha = bio::Alphabet::get(matrix.alphabet_kind());
+  size_ = alpha.size();
+  const auto n = static_cast<std::size_t>(size_);
+
+  // Joint emission p(a, b) ∝ q(a) q(b) exp(S(a,b) / T) with uniform q over
+  // the real letters; the wildcard shares the letters' background weight.
+  const double q = 1.0 / static_cast<double>(alpha.letters());
+  log_bg_.assign(n, std::log(q));
+  std::vector<double> joint(n * n);
+  double z = 0.0;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b) {
+      const double s = matrix.score(static_cast<std::uint8_t>(a),
+                                    static_cast<std::uint8_t>(b));
+      joint[a * n + b] = q * q * std::exp(s / params_.temperature);
+      z += joint[a * n + b];
+    }
+  log_match_.resize(n * n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    log_match_[i] = std::log(joint[i] / z);
+}
+
+double PairHmm::emit_match(std::uint8_t a, std::uint8_t b) const {
+  return log_match_[static_cast<std::size_t>(a) *
+                        static_cast<std::size_t>(size_) +
+                    b];
+}
+
+SparsePosterior PairHmm::posterior(const bio::Sequence& a,
+                                   const bio::Sequence& b) const {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("PairHmm::posterior: empty sequence");
+  if (a.alphabet_kind() != matrix_->alphabet_kind() ||
+      b.alphabet_kind() != matrix_->alphabet_kind())
+    throw std::invalid_argument("PairHmm::posterior: alphabet mismatch");
+
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const double t_mm = std::log(1.0 - 2.0 * params_.gap_open);
+  const double t_mg = std::log(params_.gap_open);        // M -> X or Y
+  const double t_gg = std::log(params_.gap_extend);      // X->X / Y->Y
+  const double t_gm = std::log(1.0 - params_.gap_extend); // X->M / Y->M
+
+  // Forward. Full M matrix is kept (needed for the posterior); X and Y use
+  // rolling rows. Cell (i, j) covers prefixes a[0..i) and b[0..j).
+  util::Matrix<double> fwd_m(m + 1, n + 1, kLogZero);
+  std::vector<double> fx_prev(n + 1, kLogZero), fx_cur(n + 1, kLogZero);
+  std::vector<double> fy_prev(n + 1, kLogZero), fy_cur(n + 1, kLogZero);
+  // Virtual start: the start distribution is folded into the first real
+  // transition by seeding M(0,0) with log 1 and treating moves out of (0,0)
+  // with start probabilities rather than transition probabilities.
+  fwd_m(0, 0) = 0.0;
+  const double s_m = std::log(1.0 - 2.0 * params_.gap_open);
+  const double s_g = std::log(params_.gap_open);
+
+  auto trans_into_m = [&](double from_m, double from_x, double from_y,
+                          bool from_origin) {
+    if (from_origin) return from_m + s_m;  // start -> M
+    return log_add3(from_m + t_mm, from_x + t_gm, from_y + t_gm);
+  };
+
+  for (std::size_t j = 1; j <= n; ++j) {
+    const double open = fwd_m(0, j - 1) + (j == 1 ? s_g : kLogZero);
+    const double ext = fx_prev[j - 1] + t_gg;
+    fx_prev[j] = log_add(open, ext) + log_bg_[b.code(j - 1)];
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::fill(fx_cur.begin(), fx_cur.end(), kLogZero);
+    std::fill(fy_cur.begin(), fy_cur.end(), kLogZero);
+    {
+      const double open = fwd_m(i - 1, 0) + (i == 1 ? s_g : kLogZero);
+      const double ext = fy_prev[0] + t_gg;
+      fy_cur[0] = log_add(open, ext) + log_bg_[a.code(i - 1)];
+    }
+    for (std::size_t j = 1; j <= n; ++j) {
+      fwd_m(i, j) = trans_into_m(fwd_m(i - 1, j - 1), fx_prev[j - 1],
+                                 fy_prev[j - 1], i == 1 && j == 1) +
+                    emit_match(a.code(i - 1), b.code(j - 1));
+      // X consumes b[j-1] (gap in a).
+      fx_cur[j] = log_add(fwd_m(i, j - 1) + t_mg, fx_cur[j - 1] + t_gg) +
+                  log_bg_[b.code(j - 1)];
+      // Y consumes a[i-1] (gap in b).
+      fy_cur[j] = log_add(fwd_m(i - 1, j) + t_mg, fy_prev[j] + t_gg) +
+                  log_bg_[a.code(i - 1)];
+    }
+    std::swap(fx_prev, fx_cur);
+    std::swap(fy_prev, fy_cur);
+  }
+  const double log_z = log_add3(fwd_m(m, n), fx_prev[n], fy_prev[n]);
+
+  // Backward: B_state(i, j) = P(suffix | state at (i, j)). All three states
+  // may end, so B(m, n) = 0 for each. Full M matrix, rolling X/Y.
+  util::Matrix<double> bwd_m(m + 1, n + 1, kLogZero);
+  std::vector<double> bx_next(n + 1, kLogZero), bx_cur(n + 1, kLogZero);
+  std::vector<double> by_next(n + 1, kLogZero), by_cur(n + 1, kLogZero);
+  bwd_m(m, n) = 0.0;
+  bx_next[n] = 0.0;
+  by_next[n] = 0.0;
+  for (std::size_t j = n; j-- > 0;) {
+    const double e = log_bg_[b.code(j)];
+    bx_next[j] = bx_next[j + 1] + t_gg + e;
+    bwd_m(m, j) = bx_next[j + 1] + t_mg + e;
+    by_next[j] = kLogZero;
+  }
+  for (std::size_t i = m; i-- > 0;) {
+    std::fill(bx_cur.begin(), bx_cur.end(), kLogZero);
+    std::fill(by_cur.begin(), by_cur.end(), kLogZero);
+    {
+      // j == n column: only Y moves (consume a[i]) are possible.
+      const double e = log_bg_[a.code(i)];
+      by_cur[n] = by_next[n] + t_gg + e;
+      bwd_m(i, n) = by_next[n] + t_mg + e;
+    }
+    for (std::size_t j = n; j-- > 0;) {
+      const double em = emit_match(a.code(i), b.code(j)) + bwd_m(i + 1, j + 1);
+      const double ex = log_bg_[b.code(j)] + bx_cur[j + 1];
+      const double ey = log_bg_[a.code(i)] + by_next[j];
+      bwd_m(i, j) = log_add3(em + t_mm, ex + t_mg, ey + t_mg);
+      bx_cur[j] = log_add(em + t_gm, ex + t_gg);
+      by_cur[j] = log_add(em + t_gm, ey + t_gg);
+    }
+    std::swap(bx_next, bx_cur);
+    std::swap(by_next, by_cur);
+  }
+
+  // Posterior(i, j) = F_M(i+1, j+1) + B_M(i+1, j+1) - log Z, sparsified.
+  SparsePosterior out(m, n);
+  std::vector<SparsePosterior::Entry> row;
+  for (std::size_t i = 0; i < m; ++i) {
+    row.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      const double lp = fwd_m(i + 1, j + 1) + bwd_m(i + 1, j + 1) - log_z;
+      if (lp > std::log(params_.posterior_cutoff)) {
+        const double p = std::min(1.0, std::exp(lp));
+        row.push_back(SparsePosterior::Entry{static_cast<std::uint32_t>(j),
+                                             static_cast<float>(p)});
+      }
+    }
+    out.append_row(row);
+  }
+  return out;
+}
+
+MeaResult PairHmm::mea_align(const SparsePosterior& posterior) {
+  const std::size_t m = posterior.rows();
+  const std::size_t n = posterior.cols();
+  MeaResult res;
+  if (m == 0 || n == 0) return res;
+
+  // NW maximizing the sum of matched posteriors; gap moves are free. The
+  // sparse rows keep this O(m n) with tiny constants.
+  util::Matrix<float> dp(m + 1, n + 1, 0.0F);
+  util::Matrix<std::uint8_t> from(m + 1, n + 1, 0);  // 0=diag 1=up 2=left
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::span<const SparsePosterior::Entry> row = posterior.row(i - 1);
+    std::size_t next = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      float match = 0.0F;
+      while (next < row.size() && row[next].col + 1 < j) ++next;
+      if (next < row.size() && row[next].col + 1 == j) match = row[next].prob;
+      float best = dp(i - 1, j - 1) + match;
+      std::uint8_t dir = 0;
+      if (dp(i - 1, j) > best) {
+        best = dp(i - 1, j);
+        dir = 1;
+      }
+      if (dp(i, j - 1) > best) {
+        best = dp(i, j - 1);
+        dir = 2;
+      }
+      dp(i, j) = best;
+      from(i, j) = dir;
+    }
+  }
+  res.expected_correct = dp(m, n);
+  res.expected_accuracy =
+      dp(m, n) / static_cast<double>(std::min(m, n));
+
+  std::size_t i = m;
+  std::size_t j = n;
+  while (i > 0 && j > 0) {
+    switch (from(i, j)) {
+      case 0:
+        res.matches.emplace_back(static_cast<std::uint32_t>(i - 1),
+                                 static_cast<std::uint32_t>(j - 1));
+        --i;
+        --j;
+        break;
+      case 1: --i; break;
+      default: --j; break;
+    }
+  }
+  std::reverse(res.matches.begin(), res.matches.end());
+  return res;
+}
+
+}  // namespace salign::msa

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "bio/substitution_matrix.hpp"
+
+namespace salign::msa {
+
+/// Parameters of the three-state pair hidden Markov model (match M plus the
+/// two insert states X/Y) used by the ProbCons-style aligner.
+///
+/// The transition structure is ProbCons's (Do et al., Genome Res. 2005):
+/// start distribution (1-2δ, δ, δ), M→X = M→Y = δ, X→X = Y→Y = ε,
+/// X→M = Y→M = 1-ε, no direct X↔Y transitions. Emissions are derived from
+/// the substitution matrix by a Boltzmann transform (see PairHmm).
+struct PairHmmParams {
+  /// δ — probability of opening a gap from the match state.
+  double gap_open = 0.019;
+  /// ε — probability of extending an open gap.
+  double gap_extend = 0.79;
+  /// Temperature of the score → joint-probability transform
+  /// p(a,b) ∝ q(a) q(b) exp(S(a,b)/T). Larger T flattens the emissions.
+  double temperature = 2.0;
+  /// Posterior entries below this are dropped when sparsifying; ProbCons
+  /// uses the same cutoff to keep the consistency transform near-linear.
+  double posterior_cutoff = 0.01;
+};
+
+/// Sparse row-major posterior match-probability matrix P(a_i ~ b_j) for one
+/// ordered sequence pair (a, b). Rows are residue indices of `a`; each row
+/// stores only the entries that survived the posterior cutoff, in ascending
+/// column order.
+class SparsePosterior {
+ public:
+  struct Entry {
+    std::uint32_t col = 0;
+    float prob = 0.0F;
+  };
+
+  SparsePosterior() = default;
+  SparsePosterior(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nonzeros() const { return entries_.size(); }
+
+  /// Entries of row `i`; rows not yet filled by append_row are empty.
+  [[nodiscard]] std::span<const Entry> row(std::size_t i) const {
+    if (i + 1 >= row_start_.size()) return {};
+    return {entries_.data() + row_start_[i],
+            row_start_[i + 1] - row_start_[i]};
+  }
+
+  /// P(i ~ j), 0 when the entry was cut. O(log row length).
+  [[nodiscard]] float at(std::size_t i, std::size_t j) const;
+
+  /// Sum of all stored probabilities (diagnostic; bounded by min(rows, cols)).
+  [[nodiscard]] double total() const;
+
+  /// Transposed copy: P^T(j, i) = P(i, j). The pair (b, a) reuses the (a, b)
+  /// computation through this.
+  [[nodiscard]] SparsePosterior transposed() const;
+
+  /// Row-wise builder: rows must be appended in order 0..rows-1, entries
+  /// within a row in ascending column order, probabilities in [0, 1].
+  void append_row(std::span<const Entry> entries);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_start_{0};
+  std::vector<Entry> entries_;
+};
+
+/// Result of the maximum-expected-accuracy decode of a posterior matrix.
+struct MeaResult {
+  /// Sum of posterior probabilities over the matched pairs of the path.
+  double expected_correct = 0.0;
+  /// expected_correct / min(rows, cols) — ProbCons's expected-accuracy
+  /// similarity in [0, 1]; the guide-tree distance is 1 minus this.
+  double expected_accuracy = 0.0;
+  /// Matched residue pairs (i, j) of the optimal path, ascending.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> matches;
+};
+
+/// Three-state pair HMM over one substitution matrix.
+///
+/// `posterior(a, b)` runs forward-backward in log space and returns the
+/// sparsified posterior match probabilities P(a_i ~ b_j | a, b) — the
+/// building block of ProbCons's consistency transform. Joint emission
+/// probabilities come from the Boltzmann transform of the matrix scores with
+/// uniform letter backgrounds, the standard reconstruction of the log-odds
+/// derivation (Altschul, JMB 1991).
+class PairHmm {
+ public:
+  explicit PairHmm(const bio::SubstitutionMatrix& matrix =
+                       bio::SubstitutionMatrix::blosum62(),
+                   PairHmmParams params = {});
+
+  [[nodiscard]] const PairHmmParams& params() const { return params_; }
+
+  /// Posterior match probabilities for the ordered pair (a, b). Sequences
+  /// must be non-empty and use the matrix's alphabet.
+  [[nodiscard]] SparsePosterior posterior(const bio::Sequence& a,
+                                          const bio::Sequence& b) const;
+
+  /// Maximum-expected-accuracy alignment of a posterior matrix: the global
+  /// path maximizing the sum of matched posteriors (gap moves score 0).
+  [[nodiscard]] static MeaResult mea_align(const SparsePosterior& posterior);
+
+ private:
+  [[nodiscard]] double emit_match(std::uint8_t a, std::uint8_t b) const;
+
+  const bio::SubstitutionMatrix* matrix_;
+  PairHmmParams params_;
+  // Precomputed log emission tables: log p(a, b) for M, log q(a) for X/Y.
+  std::vector<double> log_match_;  // size x size, row-major
+  std::vector<double> log_bg_;     // size
+  int size_ = 0;
+};
+
+}  // namespace salign::msa

@@ -1,0 +1,239 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "align/pairwise.hpp"
+#include "msa/alignment.hpp"
+#include "msa/profile.hpp"
+#include "util/matrix.hpp"
+
+namespace salign::msa {
+
+/// Options for profile-profile alignment.
+struct ProfileAlignOptions {
+  bio::GapPenalties gaps;
+  /// Diagonal band half-width; 0 means full DP. The MAFFT-style aligner
+  /// passes FFT-derived bands here.
+  std::size_t band = 0;
+};
+
+struct ProfileAlignResult {
+  float score = 0.0F;
+  std::vector<align::EditOp> ops;
+};
+
+namespace detail {
+
+/// Generic three-state (Gotoh) profile DP over column indices.
+///
+/// `scorer(ca, cb)` returns the match score of aligning column ca of A with
+/// column cb of B. Gap penalties are scaled by the occupancy of the column
+/// being consumed, so gaps preferentially stack where the other profile is
+/// already gappy (standard PSP treatment). Shared by the PSP aligner and the
+/// T-Coffee consistency aligner.
+template <typename Scorer>
+ProfileAlignResult profile_dp(std::size_t m, std::size_t n,
+                              const Scorer& scorer,
+                              std::span<const float> occ_a,
+                              std::span<const float> occ_b,
+                              const ProfileAlignOptions& opts) {
+  constexpr float kNegInf = -0.25F * std::numeric_limits<float>::max();
+  enum State : std::uint8_t { kM = 0, kX = 1, kY = 2 };
+  struct Cell {
+    std::uint8_t came_from[3] = {kM, kM, kM};
+  };
+  const float open = opts.gaps.open;
+  const float ext = opts.gaps.extend;
+
+  ProfileAlignResult out;
+  if (m == 0 && n == 0) return out;
+  if (m == 0) {
+    out.ops.assign(n, align::EditOp::GapInA);
+    for (std::size_t j = 0; j < n; ++j)
+      out.score -= (j == 0 ? open : ext) * occ_b[j];
+    return out;
+  }
+  if (n == 0) {
+    out.ops.assign(m, align::EditOp::GapInB);
+    for (std::size_t i = 0; i < m; ++i)
+      out.score -= (i == 0 ? open : ext) * occ_a[i];
+    return out;
+  }
+
+  const std::size_t diff = m > n ? m - n : n - m;
+  const bool banded = opts.band > 0;
+  const std::size_t eff_band =
+      banded ? std::max<std::size_t>(opts.band, 1) + diff : n;
+  auto j_lo = [&](std::size_t i) -> std::size_t {
+    if (!banded) return 0;
+    const auto center = static_cast<std::size_t>(
+        static_cast<double>(i) * static_cast<double>(n) /
+        static_cast<double>(m));
+    return center > eff_band ? center - eff_band : 0;
+  };
+  auto j_hi = [&](std::size_t i) -> std::size_t {
+    if (!banded) return n;
+    const auto center = static_cast<std::size_t>(
+        static_cast<double>(i) * static_cast<double>(n) /
+        static_cast<double>(m));
+    return std::min(n, center + eff_band);
+  };
+
+  std::vector<float> prev_m(n + 1, kNegInf), prev_x(n + 1, kNegInf),
+      prev_y(n + 1, kNegInf);
+  std::vector<float> cur_m(n + 1, kNegInf), cur_x(n + 1, kNegInf),
+      cur_y(n + 1, kNegInf);
+  util::Matrix<Cell> trace(m + 1, n + 1);
+
+  prev_m[0] = 0.0F;
+  {
+    float acc = 0.0F;
+    for (std::size_t j = 1; j <= j_hi(0); ++j) {
+      acc -= (j == 1 ? open : ext) * occ_b[j - 1];
+      prev_x[j] = acc;
+      trace(0, j).came_from[kX] = kX;
+    }
+  }
+
+  float y_border = 0.0F;
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::size_t lo = j_lo(i);
+    const std::size_t hi = j_hi(i);
+    if (banded) {
+      std::fill(cur_m.begin(), cur_m.end(), kNegInf);
+      std::fill(cur_x.begin(), cur_x.end(), kNegInf);
+      std::fill(cur_y.begin(), cur_y.end(), kNegInf);
+    }
+    cur_m[0] = kNegInf;
+    cur_x[0] = kNegInf;
+    y_border -= (i == 1 ? open : ext) * occ_a[i - 1];
+    cur_y[0] = lo == 0 ? y_border : kNegInf;
+    if (lo == 0) trace(i, 0).came_from[kY] = kY;
+
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+      Cell& t = trace(i, j);
+
+      const float sub = scorer(i - 1, j - 1);
+      float best = prev_m[j - 1];
+      std::uint8_t from = kM;
+      if (prev_x[j - 1] > best) {
+        best = prev_x[j - 1];
+        from = kX;
+      }
+      if (prev_y[j - 1] > best) {
+        best = prev_y[j - 1];
+        from = kY;
+      }
+      cur_m[j] = best > kNegInf / 2 ? best + sub : kNegInf;
+      t.came_from[kM] = from;
+
+      // Gap in A consuming B's column j-1.
+      const float gx_open = open * occ_b[j - 1];
+      const float gx_ext = ext * occ_b[j - 1];
+      const float open_x = cur_m[j - 1] - gx_open;
+      const float ext_x = cur_x[j - 1] - gx_ext;
+      const float via_y = cur_y[j - 1] - gx_open;
+      if (ext_x >= open_x && ext_x >= via_y) {
+        cur_x[j] = ext_x;
+        t.came_from[kX] = kX;
+      } else if (open_x >= via_y) {
+        cur_x[j] = open_x;
+        t.came_from[kX] = kM;
+      } else {
+        cur_x[j] = via_y;
+        t.came_from[kX] = kY;
+      }
+
+      // Gap in B consuming A's column i-1.
+      const float gy_open = open * occ_a[i - 1];
+      const float gy_ext = ext * occ_a[i - 1];
+      const float open_y = prev_m[j] - gy_open;
+      const float ext_y = prev_y[j] - gy_ext;
+      const float via_x = prev_x[j] - gy_open;
+      if (ext_y >= open_y && ext_y >= via_x) {
+        cur_y[j] = ext_y;
+        t.came_from[kY] = kY;
+      } else if (open_y >= via_x) {
+        cur_y[j] = open_y;
+        t.came_from[kY] = kM;
+      } else {
+        cur_y[j] = via_x;
+        t.came_from[kY] = kX;
+      }
+    }
+    std::swap(prev_m, cur_m);
+    std::swap(prev_x, cur_x);
+    std::swap(prev_y, cur_y);
+  }
+
+  std::uint8_t state = kM;
+  float best = prev_m[n];
+  if (prev_x[n] > best) {
+    best = prev_x[n];
+    state = kX;
+  }
+  if (prev_y[n] > best) {
+    best = prev_y[n];
+    state = kY;
+  }
+  out.score = best;
+
+  std::size_t i = m;
+  std::size_t j = n;
+  while (i > 0 || j > 0) {
+    const std::uint8_t from = trace(i, j).came_from[state];
+    switch (state) {
+      case kM:
+        out.ops.push_back(align::EditOp::Match);
+        --i;
+        --j;
+        break;
+      case kX:
+        out.ops.push_back(align::EditOp::GapInA);
+        --j;
+        break;
+      case kY:
+        out.ops.push_back(align::EditOp::GapInB);
+        --i;
+        break;
+      default: break;
+    }
+    state = from;
+  }
+  std::reverse(out.ops.begin(), out.ops.end());
+  return out;
+}
+
+}  // namespace detail
+
+/// Aligns two profiles with the PSP objective; the result path is in column
+/// space (Match consumes one column of each).
+[[nodiscard]] ProfileAlignResult align_profiles(
+    const Profile& a, const Profile& b, const ProfileAlignOptions& opts = {});
+
+/// Scores an existing column path under the same PSP + scaled-affine-gap
+/// objective as align_profiles; used by refinement to accept/reject
+/// re-alignments against the incumbent.
+[[nodiscard]] float score_profile_path(const Profile& a, const Profile& b,
+                                       std::span<const align::EditOp> ops,
+                                       const ProfileAlignOptions& opts = {});
+
+/// Merges two alignments into one by a column path over (A columns, B
+/// columns). Row order: all A rows, then all B rows.
+[[nodiscard]] Alignment merge_alignments(const Alignment& a,
+                                         const Alignment& b,
+                                         std::span<const align::EditOp> ops);
+
+/// Derives the implied column path of a combined alignment split into two
+/// row groups: a column with residues only in group A maps to GapInB, only
+/// in B to GapInA, in both to Match. Columns empty in both groups are
+/// dropped. Inverse of merge_alignments up to all-gap columns.
+[[nodiscard]] std::vector<align::EditOp> implied_path(
+    const Alignment& aln, std::span<const std::size_t> group_a,
+    std::span<const std::size_t> group_b);
+
+}  // namespace salign::msa

@@ -1,0 +1,198 @@
+#include "msa/scoring.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace salign::msa {
+
+double induced_pair_score(const Alignment& aln, std::size_t r1,
+                          std::size_t r2,
+                          const bio::SubstitutionMatrix& matrix,
+                          bio::GapPenalties gaps) {
+  const auto& a = aln.row(r1).cells;
+  const auto& b = aln.row(r2).cells;
+  double score = 0.0;
+  // 0: none, 1: gap in a, 2: gap in b.
+  int gap_state = 0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    const bool ga = a[c] == Alignment::kGap;
+    const bool gb = b[c] == Alignment::kGap;
+    if (ga && gb) continue;  // double gap: invisible to this pair
+    if (!ga && !gb) {
+      score += matrix.score(a[c], b[c]);
+      gap_state = 0;
+    } else if (ga) {
+      score -= gap_state == 1 ? gaps.extend : gaps.open;
+      gap_state = 1;
+    } else {
+      score -= gap_state == 2 ? gaps.extend : gaps.open;
+      gap_state = 2;
+    }
+  }
+  return score;
+}
+
+namespace {
+
+/// For each row: column index -> 0-based residue ordinal (or -1 for gaps).
+std::vector<std::vector<std::int32_t>> residue_ordinals(const Alignment& aln) {
+  std::vector<std::vector<std::int32_t>> ord(aln.num_rows());
+  for (std::size_t r = 0; r < aln.num_rows(); ++r) {
+    ord[r].resize(aln.num_cols());
+    std::int32_t k = 0;
+    for (std::size_t c = 0; c < aln.num_cols(); ++c)
+      ord[r][c] = aln.is_gap(r, c) ? -1 : k++;
+  }
+  return ord;
+}
+
+/// Maps reference row index -> test row index by id.
+std::vector<std::size_t> match_rows(const Alignment& test,
+                                    const Alignment& reference) {
+  std::unordered_map<std::string, std::size_t> by_id;
+  for (std::size_t r = 0; r < test.num_rows(); ++r) {
+    if (!by_id.emplace(test.row(r).id, r).second)
+      throw std::invalid_argument("q_score: duplicate id in test: " +
+                                  test.row(r).id);
+  }
+  std::vector<std::size_t> map(reference.num_rows());
+  for (std::size_t r = 0; r < reference.num_rows(); ++r) {
+    const auto it = by_id.find(reference.row(r).id);
+    if (it == by_id.end())
+      throw std::invalid_argument("q_score: reference row missing in test: " +
+                                  reference.row(r).id);
+    map[r] = it->second;
+  }
+  return map;
+}
+
+}  // namespace
+
+double sp_score(const Alignment& aln, const bio::SubstitutionMatrix& matrix,
+                bio::GapPenalties gaps, std::size_t max_pairs,
+                std::uint64_t seed) {
+  const std::size_t rows = aln.num_rows();
+  if (rows < 2) return 0.0;
+  const std::size_t total_pairs = rows * (rows - 1) / 2;
+
+  if (max_pairs == 0 || max_pairs >= total_pairs) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = i + 1; j < rows; ++j)
+        s += induced_pair_score(aln, i, j, matrix, gaps);
+    return s;
+  }
+
+  // Deterministic sampled estimate, scaled to the full pair count.
+  util::Rng rng(seed);
+  double s = 0.0;
+  for (std::size_t k = 0; k < max_pairs; ++k) {
+    const std::size_t i = rng.below(rows);
+    std::size_t j = rng.below(rows - 1);
+    if (j >= i) ++j;
+    s += induced_pair_score(aln, i, j, matrix, gaps);
+  }
+  return s * static_cast<double>(total_pairs) / static_cast<double>(max_pairs);
+}
+
+double q_score(const Alignment& test, const Alignment& reference) {
+  return q_score(test, reference, {});
+}
+
+double q_score(const Alignment& test, const Alignment& reference,
+               const std::vector<bool>& column_mask) {
+  if (reference.num_rows() > 0xFFFF)
+    throw std::invalid_argument("q_score: too many rows");
+  if (!column_mask.empty() && column_mask.size() != reference.num_cols())
+    throw std::invalid_argument("q_score: mask size != reference columns");
+  const auto row_map = match_rows(test, reference);
+  const auto ref_ord = residue_ordinals(reference);
+  const auto test_ord = residue_ordinals(test);
+
+  // Residue ordinal -> test column, per reference row.
+  std::vector<std::vector<std::int32_t>> test_col_of(reference.num_rows());
+  for (std::size_t r = 0; r < reference.num_rows(); ++r) {
+    const std::size_t tr = row_map[r];
+    test_col_of[r].assign(test.residue_count(tr), -1);
+    for (std::size_t c = 0; c < test.num_cols(); ++c) {
+      const std::int32_t k = test_ord[tr][c];
+      if (k >= 0) test_col_of[r][static_cast<std::size_t>(k)] =
+          static_cast<std::int32_t>(c);
+    }
+  }
+
+  std::uint64_t ref_pairs = 0;
+  std::uint64_t hit_pairs = 0;
+  std::vector<std::pair<std::size_t, std::int32_t>> present;
+  for (std::size_t c = 0; c < reference.num_cols(); ++c) {
+    if (!column_mask.empty() && !column_mask[c]) continue;
+    present.clear();
+    for (std::size_t r = 0; r < reference.num_rows(); ++r)
+      if (ref_ord[r][c] >= 0) present.emplace_back(r, ref_ord[r][c]);
+    for (std::size_t x = 0; x < present.size(); ++x)
+      for (std::size_t y = x + 1; y < present.size(); ++y) {
+        ++ref_pairs;
+        const auto [rx, kx] = present[x];
+        const auto [ry, ky] = present[y];
+        if (test_col_of[rx][static_cast<std::size_t>(kx)] ==
+            test_col_of[ry][static_cast<std::size_t>(ky)])
+          ++hit_pairs;
+      }
+  }
+  if (ref_pairs == 0) return 0.0;
+  return static_cast<double>(hit_pairs) / static_cast<double>(ref_pairs);
+}
+
+double tc_score(const Alignment& test, const Alignment& reference) {
+  return tc_score(test, reference, {});
+}
+
+double tc_score(const Alignment& test, const Alignment& reference,
+                const std::vector<bool>& column_mask) {
+  if (!column_mask.empty() && column_mask.size() != reference.num_cols())
+    throw std::invalid_argument("tc_score: mask size != reference columns");
+  const auto row_map = match_rows(test, reference);
+  const auto ref_ord = residue_ordinals(reference);
+  const auto test_ord = residue_ordinals(test);
+
+  std::vector<std::vector<std::int32_t>> test_col_of(reference.num_rows());
+  for (std::size_t r = 0; r < reference.num_rows(); ++r) {
+    const std::size_t tr = row_map[r];
+    test_col_of[r].assign(test.residue_count(tr), -1);
+    for (std::size_t c = 0; c < test.num_cols(); ++c) {
+      const std::int32_t k = test_ord[tr][c];
+      if (k >= 0) test_col_of[r][static_cast<std::size_t>(k)] =
+          static_cast<std::int32_t>(c);
+    }
+  }
+
+  std::size_t scored_cols = 0;
+  std::size_t hit_cols = 0;
+  for (std::size_t c = 0; c < reference.num_cols(); ++c) {
+    if (!column_mask.empty() && !column_mask[c]) continue;
+    std::int32_t target = -2;  // -2: unset
+    bool ok = true;
+    std::size_t residues = 0;
+    for (std::size_t r = 0; r < reference.num_rows(); ++r) {
+      const std::int32_t k = ref_ord[r][c];
+      if (k < 0) continue;
+      ++residues;
+      const std::int32_t col = test_col_of[r][static_cast<std::size_t>(k)];
+      if (target == -2)
+        target = col;
+      else if (col != target)
+        ok = false;
+    }
+    if (residues < 2) continue;  // single-residue columns carry no constraint
+    ++scored_cols;
+    if (ok) ++hit_cols;
+  }
+  if (scored_cols == 0) return 0.0;
+  return static_cast<double>(hit_cols) / static_cast<double>(scored_cols);
+}
+
+}  // namespace salign::msa

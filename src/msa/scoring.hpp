@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bio/substitution_matrix.hpp"
+#include "msa/alignment.hpp"
+
+namespace salign::msa {
+
+/// Sum-of-pairs score of an alignment: for every row pair, the affine-gap
+/// score of the induced pairwise alignment (columns gapped in both rows are
+/// skipped, per the standard SP definition). This is the "score of the
+/// global map" the paper's algorithm statement maximizes.
+///
+/// Exact SP is O(rows^2 * cols); for large alignments pass `max_pairs` to
+/// score a deterministic uniform sample of row pairs and scale up the
+/// estimate (the figure benches use this on the 2000-sequence glue).
+[[nodiscard]] double sp_score(const Alignment& aln,
+                              const bio::SubstitutionMatrix& matrix,
+                              bio::GapPenalties gaps,
+                              std::size_t max_pairs = 0,
+                              std::uint64_t seed = 7);
+
+/// Affine-gap score of the pairwise alignment induced by rows r1 and r2
+/// (double-gap columns skipped) — one term of sp_score. Exposed for
+/// incremental SP updates: edits that touch a single row change only that
+/// row's terms.
+[[nodiscard]] double induced_pair_score(const Alignment& aln, std::size_t r1,
+                                        std::size_t r2,
+                                        const bio::SubstitutionMatrix& matrix,
+                                        bio::GapPenalties gaps);
+
+/// Q accuracy (Edgar 2004, the PREFAB measure): the fraction of residue
+/// pairs aligned in `reference` that are also aligned in `test`. Rows are
+/// matched by id; reference rows absent from `test` are an error. Returns 1
+/// for reference-vs-itself, and 0 when the reference has no aligned pairs.
+[[nodiscard]] double q_score(const Alignment& test, const Alignment& reference);
+
+/// Q restricted to the reference columns where `column_mask` is true — the
+/// BAliBASE convention of scoring only the annotated core blocks. An empty
+/// mask scores every column; a non-empty mask must have one entry per
+/// reference column.
+[[nodiscard]] double q_score(const Alignment& test, const Alignment& reference,
+                             const std::vector<bool>& column_mask);
+
+/// TC (total column) score: fraction of reference columns whose complete
+/// residue set is reproduced as one column of `test`.
+[[nodiscard]] double tc_score(const Alignment& test,
+                              const Alignment& reference);
+
+/// TC restricted to masked (core) reference columns, as in q_score.
+[[nodiscard]] double tc_score(const Alignment& test,
+                              const Alignment& reference,
+                              const std::vector<bool>& column_mask);
+
+}  // namespace salign::msa

@@ -1,0 +1,76 @@
+#include "par/cluster.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace salign::par {
+
+Cluster::Cluster(int num_ranks) : board_(num_ranks) {}
+
+namespace {
+
+bool is_cluster_aborted(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const ClusterAborted&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  if (board_.aborted()) board_.reset_after_abort();
+  const int p = board_.size();
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      try {
+        Communicator comm(board_, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Take the whole group down: peers blocked on a message or barrier
+        // this rank will never complete must wake and unwind, as mpirun
+        // would kill the job on an uncaught exception.
+        board_.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Rethrow the root cause, not the collateral ClusterAborted unwinds.
+  for (const auto& e : errors)
+    if (e && !is_cluster_aborted(e)) std::rethrow_exception(e);
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  unsigned threads) {
+  if (n == 0) return;
+  const unsigned workers =
+      std::min<unsigned>(threads == 0 ? 1 : threads,
+                         static_cast<unsigned>(n));
+  if (workers <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace salign::par

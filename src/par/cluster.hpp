@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+
+#include "par/comm.hpp"
+
+namespace salign::par {
+
+/// Executes an SPMD function on `num_ranks` logical processors, each a host
+/// thread with its own Communicator over a shared MessageBoard.
+///
+/// This is the library's stand-in for `mpirun -np p`: the paper ran on a
+/// 16-node Beowulf cluster with MPI; we reproduce the message-passing
+/// semantics in-process (separate per-rank state, explicit serialization,
+/// collective synchronization) and charge wire costs through the
+/// ClusterCostModel instead of a physical interconnect. See DESIGN.md §2.
+class Cluster {
+ public:
+  explicit Cluster(int num_ranks);
+
+  /// Runs `fn(comm)` once per rank on its own thread and joins them all.
+  ///
+  /// Fault model: if any rank exits with an exception the group is aborted —
+  /// peers blocked in recv/barrier/collectives wake with ClusterAborted and
+  /// unwind — and the root-cause exception is rethrown here after every
+  /// thread has been joined (collateral ClusterAborted unwinds are
+  /// suppressed). May be called repeatedly, even after an aborted run
+  /// (undelivered messages from the dead run are dropped); traffic
+  /// accumulates across runs.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  [[nodiscard]] int num_ranks() const { return board_.size(); }
+  [[nodiscard]] TrafficStats traffic() const { return board_.traffic(); }
+
+ private:
+  MessageBoard board_;
+};
+
+/// Static-partition parallel map over [0, n): OpenMP-style worksharing for
+/// intra-rank loops (distance matrices, per-sequence ranking). Runs inline
+/// when threads <= 1 or n is tiny. `fn(begin, end)` must be thread-safe on
+/// disjoint ranges.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  unsigned threads);
+
+}  // namespace salign::par

@@ -1,0 +1,306 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace salign::par {
+
+MessageBoard::MessageBoard(int size)
+    : size_(size),
+      bytes_sent_(static_cast<std::size_t>(size)),
+      messages_sent_(static_cast<std::size_t>(size)) {
+  if (size <= 0) throw std::invalid_argument("MessageBoard: size must be > 0");
+  boxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  for (auto& b : bytes_sent_) b.store(0, std::memory_order_relaxed);
+  for (auto& m : messages_sent_) m.store(0, std::memory_order_relaxed);
+}
+
+TrafficStats MessageBoard::traffic() const {
+  TrafficStats t;
+  t.bytes_sent_per_rank.resize(static_cast<std::size_t>(size_));
+  t.messages_sent_per_rank.resize(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    t.bytes_sent_per_rank[static_cast<std::size_t>(i)] =
+        bytes_sent_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    t.messages_sent_per_rank[static_cast<std::size_t>(i)] =
+        messages_sent_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void MessageBoard::post(int src, int dest, std::int64_t tag, Bytes payload) {
+  if (dest < 0 || dest >= size_)
+    throw std::out_of_range("send: destination rank out of range");
+  bytes_sent_[static_cast<std::size_t>(src)].fetch_add(
+      payload.size(), std::memory_order_relaxed);
+  messages_sent_[static_cast<std::size_t>(src)].fetch_add(
+      1, std::memory_order_relaxed);
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(Message{src, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+Bytes MessageBoard::take(int dest, int src, std::int64_t tag) {
+  if (src < 0 || src >= size_)
+    throw std::out_of_range("recv: source rank out of range");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire)) throw ClusterAborted();
+    const auto it = std::find_if(
+        box.queue.begin(), box.queue.end(), [&](const Message& m) {
+          return m.src == src && m.tag == tag;
+        });
+    if (it != box.queue.end()) {
+      Bytes payload = std::move(it->payload);
+      box.queue.erase(it);
+      return payload;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::optional<Bytes> MessageBoard::try_take(int dest, int src,
+                                            std::int64_t tag) {
+  if (src < 0 || src >= size_)
+    throw std::out_of_range("recv: source rank out of range");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  if (aborted_.load(std::memory_order_acquire)) throw ClusterAborted();
+  const auto it = std::find_if(
+      box.queue.begin(), box.queue.end(),
+      [&](const Message& m) { return m.src == src && m.tag == tag; });
+  if (it == box.queue.end()) return std::nullopt;
+  Bytes payload = std::move(it->payload);
+  box.queue.erase(it);
+  return payload;
+}
+
+std::pair<int, Bytes> MessageBoard::take_any(int dest, std::int64_t tag) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire)) throw ClusterAborted();
+    const auto it =
+        std::find_if(box.queue.begin(), box.queue.end(),
+                     [&](const Message& m) { return m.tag == tag; });
+    if (it != box.queue.end()) {
+      std::pair<int, Bytes> out{it->src, std::move(it->payload)};
+      box.queue.erase(it);
+      return out;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::size_t MessageBoard::peek(int dest, int src, std::int64_t tag) {
+  if (src < 0 || src >= size_)
+    throw std::out_of_range("probe: source rank out of range");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire)) throw ClusterAborted();
+    const auto it = std::find_if(
+        box.queue.begin(), box.queue.end(),
+        [&](const Message& m) { return m.src == src && m.tag == tag; });
+    if (it != box.queue.end()) return it->payload.size();
+    box.cv.wait(lock);
+  }
+}
+
+std::optional<std::size_t> MessageBoard::try_peek(int dest, int src,
+                                                  std::int64_t tag) {
+  if (src < 0 || src >= size_)
+    throw std::out_of_range("probe: source rank out of range");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  if (aborted_.load(std::memory_order_acquire)) throw ClusterAborted();
+  const auto it = std::find_if(
+      box.queue.begin(), box.queue.end(),
+      [&](const Message& m) { return m.src == src && m.tag == tag; });
+  if (it == box.queue.end()) return std::nullopt;
+  return it->payload.size();
+}
+
+void MessageBoard::abort() noexcept {
+  aborted_.store(true, std::memory_order_release);
+  // Lock each waiter's mutex before notifying so a thread that checked the
+  // flag just before wait() cannot miss the wakeup.
+  for (auto& box : boxes_) {
+    const std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void MessageBoard::reset_after_abort() {
+  for (auto& box : boxes_) {
+    const std::lock_guard<std::mutex> lock(box->mutex);
+    box->queue.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_count_ = 0;
+    ++barrier_generation_;
+  }
+  aborted_.store(false, std::memory_order_release);
+}
+
+void Communicator::send(int dest, int tag, Bytes payload) {
+  if (tag < 0) throw std::invalid_argument("send: tags must be >= 0");
+  board_->post(rank_, dest, tag, std::move(payload));
+}
+
+Bytes Communicator::recv(int src, int tag) {
+  if (tag < 0) throw std::invalid_argument("recv: tags must be >= 0");
+  return board_->take(rank_, src, tag);
+}
+
+std::optional<Bytes> Communicator::try_recv(int src, int tag) {
+  if (tag < 0) throw std::invalid_argument("recv: tags must be >= 0");
+  return board_->try_take(rank_, src, tag);
+}
+
+std::pair<int, Bytes> Communicator::recv_any(int tag) {
+  if (tag < 0) throw std::invalid_argument("recv: tags must be >= 0");
+  return board_->take_any(rank_, tag);
+}
+
+std::size_t Communicator::probe(int src, int tag) {
+  if (tag < 0) throw std::invalid_argument("probe: tags must be >= 0");
+  return board_->peek(rank_, src, tag);
+}
+
+std::optional<std::size_t> Communicator::iprobe(int src, int tag) {
+  if (tag < 0) throw std::invalid_argument("probe: tags must be >= 0");
+  return board_->try_peek(rank_, src, tag);
+}
+
+void Communicator::barrier() {
+  std::unique_lock<std::mutex> lock(board_->barrier_mutex_);
+  if (board_->aborted()) throw ClusterAborted();
+  const std::uint64_t generation = board_->barrier_generation_;
+  if (++board_->barrier_count_ == board_->size_) {
+    board_->barrier_count_ = 0;
+    ++board_->barrier_generation_;
+    board_->barrier_cv_.notify_all();
+    return;
+  }
+  board_->barrier_cv_.wait(lock, [&] {
+    return board_->aborted() ||
+           board_->barrier_generation_ != generation;
+  });
+  if (board_->barrier_generation_ == generation) throw ClusterAborted();
+}
+
+std::int64_t Communicator::next_collective_tag(int op) {
+  // Collectives advance in lockstep on every rank (SPMD), so a per-rank
+  // sequence number yields identical tags group-wide. Negative space keeps
+  // them disjoint from user tags.
+  const std::uint64_t seq = collective_seq_++;
+  return -static_cast<std::int64_t>(seq * 8 + static_cast<std::uint64_t>(op) +
+                                    1);
+}
+
+Bytes Communicator::broadcast(int root, Bytes payload) {
+  const std::int64_t tag = next_collective_tag(0);
+  if (rank_ == root) {
+    for (int d = 0; d < size(); ++d)
+      if (d != root) board_->post(rank_, d, tag, payload);
+    return payload;
+  }
+  return board_->take(rank_, root, tag);
+}
+
+std::vector<Bytes> Communicator::gather(int root, Bytes contribution) {
+  const std::int64_t tag = next_collective_tag(1);
+  if (rank_ == root) {
+    std::vector<Bytes> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = std::move(contribution);
+    for (int s = 0; s < size(); ++s)
+      if (s != root)
+        out[static_cast<std::size_t>(s)] = board_->take(rank_, s, tag);
+    return out;
+  }
+  board_->post(rank_, root, tag, std::move(contribution));
+  return {};
+}
+
+Bytes Communicator::scatter(int root, std::vector<Bytes> per_dest) {
+  const std::int64_t tag = next_collective_tag(4);
+  if (rank_ == root) {
+    if (per_dest.size() != static_cast<std::size_t>(size()))
+      throw std::invalid_argument("scatter: need one payload per rank");
+    for (int d = 0; d < size(); ++d)
+      if (d != root)
+        board_->post(rank_, d, tag,
+                     std::move(per_dest[static_cast<std::size_t>(d)]));
+    return std::move(per_dest[static_cast<std::size_t>(root)]);
+  }
+  return board_->take(rank_, root, tag);
+}
+
+std::vector<Bytes> Communicator::all_gather(Bytes contribution) {
+  const std::int64_t tag = next_collective_tag(2);
+  for (int d = 0; d < size(); ++d)
+    if (d != rank_) board_->post(rank_, d, tag, contribution);
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)] = std::move(contribution);
+  for (int s = 0; s < size(); ++s)
+    if (s != rank_)
+      out[static_cast<std::size_t>(s)] = board_->take(rank_, s, tag);
+  return out;
+}
+
+std::vector<Bytes> Communicator::all_to_all(std::vector<Bytes> per_dest) {
+  if (per_dest.size() != static_cast<std::size_t>(size()))
+    throw std::invalid_argument("all_to_all: need one payload per rank");
+  const std::int64_t tag = next_collective_tag(3);
+  for (int d = 0; d < size(); ++d)
+    if (d != rank_)
+      board_->post(rank_, d, tag,
+                   std::move(per_dest[static_cast<std::size_t>(d)]));
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)] =
+      std::move(per_dest[static_cast<std::size_t>(rank_)]);
+  for (int s = 0; s < size(); ++s)
+    if (s != rank_)
+      out[static_cast<std::size_t>(s)] = board_->take(rank_, s, tag);
+  return out;
+}
+
+double Communicator::reduce_sum(int root, double value) {
+  ByteWriter w;
+  w.f64(value);
+  const std::vector<Bytes> all = gather(root, w.take());
+  if (rank_ != root) return 0.0;
+  double sum = 0.0;
+  for (const Bytes& b : all) {
+    ByteReader r(b);
+    sum += r.f64();
+  }
+  return sum;
+}
+
+double Communicator::all_reduce_sum(double value) {
+  ByteWriter w;
+  w.f64(value);
+  const std::vector<Bytes> all = all_gather(w.take());
+  double sum = 0.0;
+  for (const Bytes& b : all) {
+    ByteReader r(b);
+    sum += r.f64();
+  }
+  return sum;
+}
+
+}  // namespace salign::par

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "par/serialize.hpp"
+
+namespace salign::par {
+
+/// Thrown by blocking operations (recv, barrier, collectives) on every
+/// surviving rank once the group has been aborted — i.e. after another rank
+/// exited with an exception. Mirrors MPI's error-handler teardown: a dead
+/// rank must take the group down rather than leave peers blocked forever.
+class ClusterAborted : public std::runtime_error {
+ public:
+  ClusterAborted() : std::runtime_error("cluster aborted: a peer rank died") {}
+};
+
+/// Per-run communication accounting (drives the cluster cost model and the
+/// paper's communication-cost analysis benches).
+struct TrafficStats {
+  std::vector<std::uint64_t> bytes_sent_per_rank;
+  std::vector<std::uint64_t> messages_sent_per_rank;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t t = 0;
+    for (auto b : bytes_sent_per_rank) t += b;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t total_messages() const {
+    std::uint64_t t = 0;
+    for (auto m : messages_sent_per_rank) t += m;
+    return t;
+  }
+};
+
+/// Shared mailbox state of one communicator group. Internal to the runtime;
+/// user code sees only Communicator handles.
+class MessageBoard {
+ public:
+  explicit MessageBoard(int size);
+
+  MessageBoard(const MessageBoard&) = delete;
+  MessageBoard& operator=(const MessageBoard&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] TrafficStats traffic() const;
+
+  /// Marks the group dead and wakes every thread blocked in take()/barrier();
+  /// they throw ClusterAborted. Safe to call from any thread, idempotent.
+  void abort() noexcept;
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  /// Restores a fresh group after an aborted run: clears the abort flag,
+  /// drains undelivered messages, and resets the barrier counter. Must only
+  /// be called while no rank thread is running.
+  void reset_after_abort();
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int src;
+    std::int64_t tag;
+    Bytes payload;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void post(int src, int dest, std::int64_t tag, Bytes payload);
+  [[nodiscard]] Bytes take(int dest, int src, std::int64_t tag);
+  [[nodiscard]] std::optional<Bytes> try_take(int dest, int src,
+                                              std::int64_t tag);
+  [[nodiscard]] std::pair<int, Bytes> take_any(int dest, std::int64_t tag);
+  [[nodiscard]] std::size_t peek(int dest, int src, std::int64_t tag);
+  [[nodiscard]] std::optional<std::size_t> try_peek(int dest, int src,
+                                                    std::int64_t tag);
+
+  int size_;
+  std::atomic<bool> aborted_{false};
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  // Barrier (central counter, generation-stamped).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Traffic counters (relaxed: read after join only).
+  std::vector<std::atomic<std::uint64_t>> bytes_sent_;
+  std::vector<std::atomic<std::uint64_t>> messages_sent_;
+};
+
+/// Rank-local handle to the message-passing runtime, with MPI-shaped
+/// point-to-point and collective operations.
+///
+/// Semantics follow MPI: sends are buffered (non-blocking), recv blocks
+/// until a matching (src, tag) message arrives, messages between a fixed
+/// (src, dest, tag) triple are FIFO, and collectives must be called by every
+/// rank in the same order (SPMD). Tags must be non-negative; negative tags
+/// are reserved for collective sequencing. Once the group is aborted (a peer
+/// rank died), every blocking operation throws ClusterAborted instead of
+/// waiting on a message that will never come.
+class Communicator {
+ public:
+  Communicator(MessageBoard& board, int rank)
+      : board_(&board), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return board_->size(); }
+
+  /// Buffered point-to-point send (self-sends allowed).
+  void send(int dest, int tag, Bytes payload);
+  /// Blocking receive matching (src, tag).
+  [[nodiscard]] Bytes recv(int src, int tag);
+  /// Nonblocking receive: the oldest queued (src, tag) message, or nullopt
+  /// if none has arrived yet. The MPI_Iprobe+MPI_Recv polling idiom.
+  [[nodiscard]] std::optional<Bytes> try_recv(int src, int tag);
+  /// Blocking receive from whichever source delivers first (MPI_ANY_SOURCE):
+  /// returns {source rank, payload}. Messages from the same source stay FIFO.
+  [[nodiscard]] std::pair<int, Bytes> recv_any(int tag);
+  /// Blocking probe (MPI_Probe): waits until a (src, tag) message is queued
+  /// and returns its payload size without consuming it.
+  [[nodiscard]] std::size_t probe(int src, int tag);
+  /// Nonblocking probe (MPI_Iprobe): payload size of the oldest queued
+  /// (src, tag) message, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> iprobe(int src, int tag);
+
+  /// Blocks until every rank has entered.
+  void barrier();
+
+  /// Root's payload is returned on every rank (root included).
+  [[nodiscard]] Bytes broadcast(int root, Bytes payload = {});
+
+  /// Root receives all contributions indexed by rank; other ranks get {}.
+  [[nodiscard]] std::vector<Bytes> gather(int root, Bytes contribution);
+
+  /// Inverse of gather: root supplies one payload per rank (`per_dest`,
+  /// size p, ignored elsewhere) and every rank receives its element. The
+  /// paper's initial N/p distribution of sequences from a root reader.
+  [[nodiscard]] Bytes scatter(int root, std::vector<Bytes> per_dest = {});
+
+  /// Every rank receives all contributions indexed by rank.
+  [[nodiscard]] std::vector<Bytes> all_gather(Bytes contribution);
+
+  /// Personalized all-to-all: element d of the input goes to rank d; the
+  /// result's element s came from rank s. This is the redistribution
+  /// primitive of the pipeline's bucket exchange.
+  [[nodiscard]] std::vector<Bytes> all_to_all(std::vector<Bytes> per_dest);
+
+  /// Sum-reduction to root (others get 0), and to all ranks.
+  [[nodiscard]] double reduce_sum(int root, double value);
+  [[nodiscard]] double all_reduce_sum(double value);
+
+ private:
+  [[nodiscard]] std::int64_t next_collective_tag(int op);
+
+  MessageBoard* board_;
+  int rank_;
+  std::uint64_t collective_seq_ = 0;
+};
+
+}  // namespace salign::par

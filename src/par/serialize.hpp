@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "msa/alignment.hpp"
+
+namespace salign::par {
+
+/// Message payload: a flat byte vector. All inter-rank data crosses this
+/// boundary — ranks never share pointers, mirroring MPI's separate address
+/// spaces (and making the byte counts the cost model charges for exact).
+using Bytes = std::vector<std::uint8_t>;
+
+/// Little-endian append-only writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  Bytes buf_;
+};
+
+/// Bounds-checked reader over a received payload.
+class ByteReader {
+ public:
+  /// Non-owning view; the caller keeps `data` alive for the reader's
+  /// lifetime.
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Owning overload: adopts the payload so that readers constructed
+  /// straight from a temporary — `ByteReader r(comm.recv(...))` — are safe.
+  /// Without this, the span constructor would bind to the destroyed
+  /// temporary (C++20 span's range constructor does not reject rvalues).
+  explicit ByteReader(Bytes&& payload)
+      : owned_(std::move(payload)), data_(owned_) {}
+
+  ByteReader(const ByteReader&) = delete;
+  ByteReader& operator=(const ByteReader&) = delete;
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    copy(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    copy(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    copy(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::vector<std::uint8_t> b(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw std::runtime_error("ByteReader: payload underrun");
+  }
+  void copy(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  Bytes owned_;  // declared before data_: the span may view into it
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Domain-type codecs -------------------------------------------------
+
+void write_sequence(ByteWriter& w, const bio::Sequence& s);
+[[nodiscard]] bio::Sequence read_sequence(ByteReader& r);
+
+void write_sequences(ByteWriter& w, std::span<const bio::Sequence> seqs);
+[[nodiscard]] std::vector<bio::Sequence> read_sequences(ByteReader& r);
+
+void write_alignment(ByteWriter& w, const msa::Alignment& a);
+[[nodiscard]] msa::Alignment read_alignment(ByteReader& r);
+
+}  // namespace salign::par

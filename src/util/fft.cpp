@@ -1,0 +1,68 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace salign::util {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0)
+    throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> cross_correlation(std::span<const double> a,
+                                      std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  // Correlation = convolution with reversed b.
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[b.size() - 1 - i];
+
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, true);
+
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i)
+    out[i] = fa[i].real() / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace salign::util

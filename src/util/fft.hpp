@@ -1,0 +1,30 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace salign::util {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+/// Precondition: data.size() is a power of two.
+/// `inverse = true` computes the unscaled inverse transform; callers divide
+/// by N themselves (the correlation helper below does).
+void fft(std::span<std::complex<double>> data, bool inverse);
+
+/// Rounds n up to the next power of two (n = 0 -> 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// Circular cross-correlation of two real signals via FFT, zero-padded to
+/// avoid wrap-around: result[k] = sum_i a[i] * b[i - k + (b.size()-1)],
+/// i.e. the full linear cross-correlation with lag index k in
+/// [0, a.size() + b.size() - 2]. Lag (b.size()-1) corresponds to zero shift.
+///
+/// This is the kernel MAFFT's FFT mode uses to find candidate homologous
+/// segment offsets between residue-property signals (Katoh et al. 2002);
+/// our MafftAligner (FFTNSI mode) calls it per sequence pair.
+[[nodiscard]] std::vector<double> cross_correlation(std::span<const double> a,
+                                                    std::span<const double> b);
+
+}  // namespace salign::util

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace salign::util {
+
+/// Dense row-major 2-D array. Used for DP tables, distance matrices and
+/// profile storage. Bounds are checked only via at(); operator() is unchecked
+/// for inner-loop performance (Core Guidelines ES.103-style: validate at the
+/// boundary, not per element).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_)
+      throw std::out_of_range("Matrix index out of range");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Symmetric matrix stored as the strict lower triangle plus diagonal;
+/// distance matrices over thousands of sequences halve their footprint.
+template <typename T>
+class SymmetricMatrix {
+ public:
+  SymmetricMatrix() = default;
+  explicit SymmetricMatrix(std::size_t n, T fill = T{})
+      : n_(n), data_(n * (n + 1) / 2, fill) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  T& operator()(std::size_t i, std::size_t j) { return data_[index(i, j)]; }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    return data_[index(i, j)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const {
+    if (i < j) std::swap(i, j);
+    return i * (i + 1) / 2 + j;
+  }
+  std::size_t n_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace salign::util

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace salign::util {
+
+/// SplitMix64 — used to expand a single user seed into stream seeds.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the project-wide deterministic RNG.
+///
+/// All stochastic components (workload generators, sampling, refinement
+/// tie-breaks) draw from explicitly seeded instances so that every
+/// experiment is reproducible bit-for-bit, including across thread counts:
+/// each parallel rank derives an independent stream via `split()`.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      const auto lo = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(r) * n) & 0xFFFFFFFFFFFFFFFFULL);
+      if (lo >= threshold)
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(r) * n) >> 64);
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with success probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric number of failures before first success, success prob `p`.
+  /// Capped to avoid pathological lengths for tiny p.
+  std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return cap;
+    std::uint64_t k = 0;
+    while (k < cap && !chance(p)) ++k;
+    return k;
+  }
+
+  /// Derives an independent child stream (for per-rank determinism).
+  [[nodiscard]] Rng split() {
+    return Rng(next() ^ 0xA3C59AC2F0C3B9E1ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace salign::util

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace salign::util {
+
+/// Single-pass running mean/variance accumulator (Welford's algorithm).
+///
+/// Backs the rank-statistics experiments (paper Table 1) and the load-balance
+/// accounting in the pipeline, where we need mean/min/max/stddev of streams
+/// whose length is not known in advance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (the paper reports population statistics).
+  [[nodiscard]] double variance() const { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance (divides by n-1).
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+[[nodiscard]] RunningStats summarize(std::span<const double> values);
+
+/// Fixed-bin histogram over a closed interval; used to reproduce the k-mer
+/// rank distribution figures (paper Figs. 1 and 3).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Inclusive lower edge of a bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Out-of-range samples are clamped into the first/last bin; count kept
+  /// separately for diagnostics.
+  [[nodiscard]] std::size_t clamped() const { return clamped_; }
+
+  /// Renders an ASCII bar chart (one line per bin), for the figure benches.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t clamped_ = 0;
+};
+
+/// Median of a copy of `values` (empty input -> 0).
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace salign::util

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace salign::util {
+
+/// Minimal fixed-column console table used by the figure/table benches so
+/// that every experiment prints the same row layout the paper reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment; also usable as CSV via to_csv().
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper ("%.3f" etc.) returning std::string.
+[[nodiscard]] std::string fmt(const char* spec, double value);
+
+}  // namespace salign::util

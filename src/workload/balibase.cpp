@@ -1,0 +1,216 @@
+#include "workload/balibase.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "workload/evolver.hpp"
+
+namespace salign::workload {
+
+namespace {
+
+/// Balanced subtree over `leaves` leaves with per-edge distance `dist`.
+EvolveNode balanced(std::size_t leaves, double dist) {
+  EvolveNode node;
+  node.branch = dist;
+  if (leaves <= 1) return node;
+  const std::size_t left = leaves / 2;
+  node.children.push_back(balanced(left, dist));
+  node.children.push_back(balanced(leaves - left, dist));
+  return node;
+}
+
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t d = 0;
+  std::size_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++d;
+  }
+  return d;
+}
+
+/// Balanced family whose *root-to-leaf* distance is `divergence` (per-edge
+/// distances compound down the tree, so each edge gets divergence/depth);
+/// this keeps the category ladder's meaning independent of family size.
+EvolveNode family_tree(std::size_t leaves, double divergence) {
+  const std::size_t depth = std::max<std::size_t>(1, ceil_log2(leaves));
+  EvolveNode root = balanced(leaves, divergence /
+                                         static_cast<double>(depth));
+  root.branch = 0.0;
+  return root;
+}
+
+EvolveNode equidistant_tree(std::size_t n, double divergence) {
+  return family_tree(n, divergence);
+}
+
+EvolveNode orphan_tree(std::size_t n, double within, double deep,
+                       std::size_t orphans) {
+  // A tight family of n - orphans sequences plus `orphans` leaves hanging
+  // off the root on deep branches.
+  orphans = std::min(orphans, n > 4 ? n - 4 : 1);
+  EvolveNode root;
+  EvolveNode fam = family_tree(n - orphans, within);
+  root.children.push_back(std::move(fam));
+  for (std::size_t i = 0; i < orphans; ++i) {
+    EvolveNode orphan;
+    orphan.branch = deep;
+    root.children.push_back(std::move(orphan));
+  }
+  return root;
+}
+
+EvolveNode subfamily_tree(std::size_t n, double within, double deep,
+                          std::size_t groups) {
+  EvolveNode root;
+  const std::size_t base = n / groups;
+  std::size_t remainder = n % groups;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t size = base + (g < remainder ? 1 : 0);
+    EvolveNode sub = family_tree(std::max<std::size_t>(size, 1), within);
+    sub.branch = deep;
+    root.children.push_back(std::move(sub));
+  }
+  return root;
+}
+
+/// Marks decorations on every k-th leaf of the tree (depth-first order).
+void decorate_leaves(EvolveNode& node, std::size_t& leaf_index,
+                     std::size_t stride, std::size_t head, std::size_t tail,
+                     std::size_t internal) {
+  if (node.children.empty()) {
+    if (leaf_index % stride == 0) {
+      node.head_extension = head;
+      node.tail_extension = tail;
+      node.internal_insertion = internal;
+    }
+    ++leaf_index;
+    return;
+  }
+  for (EvolveNode& c : node.children)
+    decorate_leaves(c, leaf_index, stride, head, tail, internal);
+}
+
+}  // namespace
+
+std::string to_string(BalibaseCategory category) {
+  switch (category) {
+    case BalibaseCategory::Equidistant: return "RV1-like equidistant";
+    case BalibaseCategory::Orphan: return "RV2-like orphan";
+    case BalibaseCategory::Subfamilies: return "RV3-like subfamilies";
+    case BalibaseCategory::Extensions: return "RV4-like extensions";
+    case BalibaseCategory::Insertions: return "RV5-like insertions";
+  }
+  return "unknown";
+}
+
+std::vector<bool> core_block_mask(const msa::Alignment& reference,
+                                  std::size_t min_run) {
+  std::vector<bool> full(reference.num_cols(), false);
+  for (std::size_t c = 0; c < reference.num_cols(); ++c) {
+    bool all = true;
+    for (std::size_t r = 0; r < reference.num_rows() && all; ++r)
+      all = !reference.is_gap(r, c);
+    full[c] = all;
+  }
+  // Keep only runs of at least min_run full columns.
+  std::vector<bool> mask(reference.num_cols(), false);
+  std::size_t run_start = 0;
+  for (std::size_t c = 0; c <= reference.num_cols(); ++c) {
+    const bool in_run = c < reference.num_cols() && full[c];
+    if (in_run) continue;
+    const std::size_t run_len = c - run_start;
+    if (run_len >= min_run)
+      for (std::size_t k = run_start; k < c; ++k) mask[k] = true;
+    run_start = c + 1;
+  }
+  return mask;
+}
+
+std::vector<BalibaseCase> balibase_cases(const BalibaseParams& params) {
+  if (params.cases_per_category == 0)
+    throw std::invalid_argument("balibase_cases: need at least one case");
+  if (params.min_sequences < 4 || params.max_sequences < params.min_sequences)
+    throw std::invalid_argument("balibase_cases: bad sequence-count range");
+
+  util::Rng rng(params.seed);
+  std::vector<BalibaseCase> cases;
+  const BalibaseCategory categories[] = {
+      BalibaseCategory::Equidistant, BalibaseCategory::Orphan,
+      BalibaseCategory::Subfamilies, BalibaseCategory::Extensions,
+      BalibaseCategory::Insertions};
+
+  const auto decoration_len = static_cast<std::size_t>(
+      params.decoration_fraction * static_cast<double>(params.root_length));
+
+  std::size_t case_id = 0;
+  for (const BalibaseCategory cat : categories) {
+    for (std::size_t i = 0; i < params.cases_per_category; ++i) {
+      const double t = params.cases_per_category <= 1
+                           ? 0.0
+                           : static_cast<double>(i) /
+                                 static_cast<double>(
+                                     params.cases_per_category - 1);
+      const double divergence =
+          params.min_divergence +
+          (params.max_divergence - params.min_divergence) * t;
+      const std::size_t n =
+          params.min_sequences +
+          rng.below(params.max_sequences - params.min_sequences + 1);
+
+      EvolveNode tree;
+      switch (cat) {
+        case BalibaseCategory::Equidistant:
+          tree = equidistant_tree(n, divergence);
+          break;
+        case BalibaseCategory::Orphan:
+          tree = orphan_tree(n, divergence, params.deep_distance,
+                             1 + rng.below(3));
+          break;
+        case BalibaseCategory::Subfamilies:
+          tree = subfamily_tree(n, divergence, params.deep_distance,
+                                2 + rng.below(3));
+          break;
+        case BalibaseCategory::Extensions: {
+          tree = equidistant_tree(n, divergence);
+          std::size_t leaf = 0;
+          // Every third sequence gets a terminal extension, alternating
+          // N/C side by case parity.
+          decorate_leaves(tree, leaf, 3,
+                          i % 2 == 0 ? decoration_len : 0,
+                          i % 2 == 0 ? 0 : decoration_len, 0);
+          break;
+        }
+        case BalibaseCategory::Insertions: {
+          tree = equidistant_tree(n, divergence);
+          std::size_t leaf = 0;
+          decorate_leaves(tree, leaf, 3, 0, 0, decoration_len);
+          break;
+        }
+      }
+
+      EvolveParams ep;
+      ep.root_length = params.root_length;
+      ep.indel_rate = 0.04;
+      ep.record_reference = true;
+      ep.seed = rng.next();
+      ep.id_prefix = "bb" + std::to_string(case_id) + "_";
+
+      Family fam = evolve_along(tree, ep);
+      BalibaseCase c;
+      c.category = cat;
+      c.sequences = std::move(fam.sequences);
+      c.reference = std::move(fam.reference);
+      c.core_columns = core_block_mask(c.reference, params.core_min_run);
+      c.divergence = divergence;
+      c.name = to_string(cat) + " #" + std::to_string(i);
+      cases.push_back(std::move(c));
+      ++case_id;
+    }
+  }
+  return cases;
+}
+
+}  // namespace salign::workload

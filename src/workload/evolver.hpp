@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "msa/alignment.hpp"
+
+namespace salign::workload {
+
+/// Parameters of the tree-based sequence family evolver.
+struct EvolveParams {
+  std::size_t num_sequences = 20;
+  /// Length of the ancestral (root) sequence.
+  std::size_t root_length = 300;
+  /// Expected substitutions per site per tree edge (F81 process: a site
+  /// mutates with probability 1 - exp(-d) to a residue drawn from the
+  /// background distribution).
+  double mean_branch_distance = 0.3;
+  /// Indel events per site per unit branch distance.
+  double indel_rate = 0.03;
+  /// Success probability of the geometric indel length (mean ~ 1/p).
+  double indel_length_p = 0.45;
+  /// Record the true alignment from the indel history (costs O(N * cols)
+  /// memory; generators for very large N switch it off).
+  bool record_reference = true;
+  std::uint64_t seed = 1;
+  std::string id_prefix = "seq";
+};
+
+/// A generated family: leaf sequences plus (optionally) the reference
+/// alignment implied by the exact indel history.
+struct Family {
+  std::vector<bio::Sequence> sequences;
+  msa::Alignment reference;  ///< empty when record_reference is false
+};
+
+/// Evolves a family along a random binary tree (ROSE's generative model;
+/// Stoye, Evers & Meyer, Bioinformatics 1998). Homology is tracked exactly:
+/// every residue belongs to a column in a global splice list; substitutions
+/// keep the column, insertions splice fresh columns in place, deletions
+/// drop the residue. The leaves' column memberships *are* the true MSA, so
+/// the reference needs no inference step — insertions in different lineages
+/// land in distinct columns, exactly as a correct reference requires.
+[[nodiscard]] Family evolve_family(const EvolveParams& params);
+
+/// A node of a caller-specified evolution tree for evolve_along(). A node
+/// with no children is a leaf (one output sequence, in depth-first order).
+/// Leaf decorations model the BAliBASE structural categories: terminal
+/// extensions (RV4-like) and large internal insertions (RV5-like) are
+/// appended as fresh homology columns after the branch process runs, so
+/// they appear in the recorded reference as gaps in every other row.
+struct EvolveNode {
+  /// Branch distance from the parent (ignored at the root).
+  double branch = 0.0;
+  std::vector<EvolveNode> children;
+  /// Novel residues prepended at the N-terminus of this leaf.
+  std::size_t head_extension = 0;
+  /// Novel residues appended at the C-terminus of this leaf.
+  std::size_t tail_extension = 0;
+  /// Novel residues inserted at a random interior point of this leaf.
+  std::size_t internal_insertion = 0;
+
+  [[nodiscard]] std::size_t leaf_count() const;
+};
+
+/// Evolves a family along the given tree spec instead of a random topology.
+/// `params.num_sequences` is ignored (the spec's leaf count rules);
+/// `params.mean_branch_distance` is ignored in favour of per-edge
+/// `EvolveNode::branch` values. Everything else (indel process, reference
+/// recording, seeding, id_prefix) behaves as in evolve_family().
+[[nodiscard]] Family evolve_along(const EvolveNode& tree,
+                                  const EvolveParams& params);
+
+}  // namespace salign::workload

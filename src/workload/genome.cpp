@@ -1,0 +1,75 @@
+#include "workload/genome.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "workload/evolver.hpp"
+
+namespace salign::workload {
+
+GenomeSimulator::GenomeSimulator(const GenomeParams& params) {
+  util::Rng rng(params.seed);
+
+  for (std::size_t f = 0; f < params.num_families; ++f) {
+    // Family size: geometric with the configured mean, at least 2.
+    const double p = 1.0 / std::max(1.0, params.mean_family_size);
+    const std::size_t size =
+        2 + static_cast<std::size_t>(rng.geometric(p, 256));
+
+    // Root length: lognormal-ish spread around the mean (protein length
+    // distributions are right-skewed).
+    const double spread = 0.35;
+    const double z = (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0;
+    const auto length = static_cast<std::size_t>(std::max(
+        40.0, static_cast<double>(params.mean_length) * std::exp(spread * z) *
+                  std::exp(-spread * spread / 2.0)));
+
+    EvolveParams ep;
+    ep.num_sequences = size;
+    ep.root_length = length;
+    ep.mean_branch_distance =
+        rng.uniform(params.min_divergence, params.max_divergence);
+    ep.indel_rate = 0.04;
+    ep.record_reference = false;
+    ep.seed = rng.next();
+    ep.id_prefix = "MA_fam" + std::to_string(f) + "_";
+    Family fam = evolve_family(ep);
+    for (auto& s : fam.sequences) pool_.push_back(std::move(s));
+  }
+
+  // Orphans: singleton genes with no detectable paralogs.
+  for (std::size_t o = 0; o < params.num_orphans; ++o) {
+    EvolveParams ep;
+    ep.num_sequences = 1;
+    const double z = (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0;
+    ep.root_length = static_cast<std::size_t>(std::max(
+        40.0, static_cast<double>(params.mean_length) * std::exp(0.35 * z)));
+    ep.record_reference = false;
+    ep.seed = rng.next();
+    ep.id_prefix = "MA_orphan" + std::to_string(o) + "_";
+    Family fam = evolve_family(ep);
+    pool_.push_back(std::move(fam.sequences.front()));
+  }
+}
+
+std::vector<bio::Sequence> GenomeSimulator::sample(std::size_t n,
+                                                   std::uint64_t seed) const {
+  if (n > pool_.size())
+    throw std::invalid_argument("GenomeSimulator::sample: n exceeds pool");
+  util::Rng rng(seed);
+  std::vector<std::size_t> idx(pool_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + rng.below(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+  }
+  std::vector<bio::Sequence> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(pool_[idx[i]]);
+  return out;
+}
+
+}  // namespace salign::workload

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace salign::workload {
+
+/// Parameters of the synthetic archaeal-genome protein pool.
+///
+/// Substitute for the Methanosarcina acetivorans proteome the paper samples
+/// its real data set from (Galagan et al. 2002: ~4500 genes, the largest
+/// known archaeal genome; the paper aligns 2000 randomly selected protein
+/// sequences with average length 316). We reproduce the statistical shape
+/// that drives alignment cost and rank structure: gene-family organization
+/// (paralogs from duplication + divergence), a broad length distribution
+/// around the same mean, and a fraction of orphan singletons.
+struct GenomeParams {
+  std::size_t num_families = 220;
+  /// Geometric family-size distribution mean (M. acetivorans is notably
+  /// paralog-rich).
+  double mean_family_size = 14.0;
+  std::size_t num_orphans = 900;
+  std::size_t mean_length = 316;
+  /// Divergence within a family, per tree edge (varies per family).
+  double min_divergence = 0.1;
+  double max_divergence = 1.2;
+  std::uint64_t seed = 2002;
+};
+
+/// A generated proteome-like pool.
+class GenomeSimulator {
+ public:
+  explicit GenomeSimulator(const GenomeParams& params = {});
+
+  [[nodiscard]] const std::vector<bio::Sequence>& pool() const {
+    return pool_;
+  }
+
+  /// Uniformly samples `n` distinct sequences from the pool — the paper's
+  /// "randomly selected 2000 sequences from the Methanosarcina acetivorans
+  /// genome".
+  [[nodiscard]] std::vector<bio::Sequence> sample(std::size_t n,
+                                                  std::uint64_t seed) const;
+
+ private:
+  std::vector<bio::Sequence> pool_;
+};
+
+}  // namespace salign::workload

@@ -1,0 +1,45 @@
+#include "workload/prefab.hpp"
+
+#include "util/rng.hpp"
+#include "workload/evolver.hpp"
+
+namespace salign::workload {
+
+std::vector<PrefabCase> prefab_cases(const PrefabParams& params) {
+  util::Rng rng(params.seed);
+  std::vector<PrefabCase> cases;
+  cases.reserve(params.num_cases);
+
+  for (std::size_t i = 0; i < params.num_cases; ++i) {
+    const double t =
+        params.num_cases <= 1
+            ? 0.0
+            : static_cast<double>(i) /
+                  static_cast<double>(params.num_cases - 1);
+    const double divergence =
+        params.min_divergence +
+        (params.max_divergence - params.min_divergence) * t;
+
+    EvolveParams ep;
+    ep.num_sequences =
+        params.min_sequences +
+        rng.below(params.max_sequences - params.min_sequences + 1);
+    ep.root_length =
+        params.min_length + rng.below(params.max_length - params.min_length + 1);
+    ep.mean_branch_distance = divergence;
+    ep.indel_rate = 0.05;
+    ep.record_reference = true;
+    ep.seed = rng.next();
+    ep.id_prefix = "pf" + std::to_string(i) + "_";
+
+    Family fam = evolve_family(ep);
+    PrefabCase c;
+    c.sequences = std::move(fam.sequences);
+    c.reference = std::move(fam.reference);
+    c.divergence = divergence;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace salign::workload

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "msa/alignment.hpp"
+
+namespace salign::workload {
+
+/// SABmark's two difficulty tiers (Van Walle, Lasters & Wyns,
+/// Bioinformatics 2005): "superfamily" groups share clear homology
+/// (~25-50% identity); "twilight" groups sit at or below the twilight zone
+/// (<25% identity), where alignment quality collapses for most tools. The
+/// paper's §5 lists SABmark among the benchmarks to evaluate next; this
+/// generator reproduces the two tiers with exact-history references.
+enum class SabmarkTier {
+  Superfamily,
+  Twilight,
+};
+
+[[nodiscard]] std::string to_string(SabmarkTier tier);
+
+/// One SABmark-style group: few sequences, high divergence, trusted
+/// reference.
+struct SabmarkGroup {
+  SabmarkTier tier = SabmarkTier::Superfamily;
+  std::vector<bio::Sequence> sequences;
+  msa::Alignment reference;
+  double divergence = 0.0;
+  std::string name;
+};
+
+struct SabmarkParams {
+  std::size_t groups_per_tier = 6;
+  /// SABmark groups are small (the real benchmark averages ~8 sequences).
+  std::size_t min_sequences = 3;
+  std::size_t max_sequences = 8;
+  std::size_t min_length = 80;
+  std::size_t max_length = 240;
+  /// Divergence bands per tier, calibrated against the evolver's
+  /// coalescent-scaled branch lengths so that superfamily groups land at
+  /// ~30-50% mean pairwise identity and twilight groups land below ~25%
+  /// (the twilight zone), matching SABmark's construction.
+  double superfamily_min = 0.7;
+  double superfamily_max = 1.2;
+  double twilight_min = 2.5;
+  double twilight_max = 4.0;
+  std::uint64_t seed = 9393;
+};
+
+/// Generates groups_per_tier groups for each tier, deterministic in seed.
+[[nodiscard]] std::vector<SabmarkGroup> sabmark_groups(
+    const SabmarkParams& params);
+
+/// Mean fractional identity over all induced row pairs of a reference
+/// alignment (diagnostic used to verify the tiers land in the intended
+/// identity bands: superfamily above the twilight zone, twilight below).
+[[nodiscard]] double mean_pairwise_identity(const msa::Alignment& reference);
+
+}  // namespace salign::workload

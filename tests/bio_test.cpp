@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bio/alphabet.hpp"
+#include "bio/fasta.hpp"
+#include "bio/sequence.hpp"
+#include "bio/substitution_matrix.hpp"
+
+namespace salign::bio {
+namespace {
+
+// ---- Alphabet ----------------------------------------------------------------
+
+TEST(Alphabet, AminoAcidSizes) {
+  const Alphabet& a = Alphabet::amino_acid();
+  EXPECT_EQ(a.size(), 21);
+  EXPECT_EQ(a.letters(), 20);
+  EXPECT_EQ(a.wildcard(), 20);
+}
+
+TEST(Alphabet, EncodeDecodeRoundTrip) {
+  const Alphabet& a = Alphabet::amino_acid();
+  const std::string letters = "ARNDCQEGHILKMFPSTWYVX";
+  for (char c : letters) EXPECT_EQ(a.decode(a.encode(c)), c);
+}
+
+TEST(Alphabet, CaseInsensitive) {
+  const Alphabet& a = Alphabet::amino_acid();
+  EXPECT_EQ(a.encode('a'), a.encode('A'));
+  EXPECT_EQ(a.encode('w'), a.encode('W'));
+}
+
+TEST(Alphabet, UnknownMapsToWildcard) {
+  const Alphabet& a = Alphabet::amino_acid();
+  EXPECT_EQ(a.encode('@'), a.wildcard());
+  EXPECT_EQ(a.encode('1'), a.wildcard());
+  EXPECT_FALSE(a.valid('@'));
+}
+
+TEST(Alphabet, AmbiguityAliases) {
+  const Alphabet& a = Alphabet::amino_acid();
+  EXPECT_EQ(a.encode('B'), a.encode('D'));
+  EXPECT_EQ(a.encode('Z'), a.encode('E'));
+  EXPECT_EQ(a.encode('J'), a.encode('L'));
+  EXPECT_EQ(a.encode('U'), a.encode('C'));
+  EXPECT_EQ(a.encode('O'), a.encode('K'));
+  EXPECT_EQ(a.encode('*'), a.wildcard());
+  EXPECT_TRUE(a.valid('B'));
+}
+
+TEST(Alphabet, DnaBasics) {
+  const Alphabet& d = Alphabet::dna();
+  EXPECT_EQ(d.size(), 5);
+  EXPECT_EQ(d.encode('U'), d.encode('T'));  // RNA alias
+  EXPECT_EQ(d.decode(d.encode('G')), 'G');
+  EXPECT_EQ(d.encode('N'), d.wildcard());
+}
+
+TEST(Alphabet, Compressed14Groups) {
+  const Alphabet& c = Alphabet::compressed14();
+  EXPECT_EQ(c.size(), 15);  // 14 groups + wildcard
+  // Group members collapse onto one code.
+  EXPECT_EQ(c.encode('Q'), c.encode('E'));
+  EXPECT_EQ(c.encode('Y'), c.encode('F'));
+  EXPECT_EQ(c.encode('L'), c.encode('I'));
+  EXPECT_EQ(c.encode('V'), c.encode('I'));
+  EXPECT_EQ(c.encode('R'), c.encode('K'));
+  EXPECT_EQ(c.encode('T'), c.encode('S'));
+  // Singleton groups stay distinct.
+  EXPECT_NE(c.encode('A'), c.encode('C'));
+  EXPECT_NE(c.encode('W'), c.encode('P'));
+}
+
+TEST(Alphabet, CompressAminoMapsAllCodes) {
+  const Alphabet& aa = Alphabet::amino_acid();
+  const Alphabet& c = Alphabet::compressed14();
+  for (int code = 0; code < aa.size(); ++code) {
+    const std::uint8_t cc = c.compress_amino(static_cast<std::uint8_t>(code));
+    EXPECT_LT(cc, c.size());
+  }
+  EXPECT_EQ(c.compress_amino(aa.encode('V')), c.encode('I'));
+  EXPECT_EQ(c.compress_amino(aa.encode('X')), c.wildcard());
+}
+
+TEST(Alphabet, CompressAminoOnWrongAlphabetThrows) {
+  EXPECT_THROW((void)Alphabet::amino_acid().compress_amino(0), std::logic_error);
+}
+
+// ---- Sequence ------------------------------------------------------------------
+
+TEST(Sequence, EncodesText) {
+  const Sequence s("s1", "ACDEFW");
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.text(), "ACDEFW");
+  EXPECT_EQ(s.id(), "s1");
+}
+
+TEST(Sequence, LowercaseNormalized) {
+  const Sequence s("s1", "acd");
+  EXPECT_EQ(s.text(), "ACD");
+}
+
+TEST(Sequence, WhitespaceRejected) {
+  EXPECT_THROW(Sequence("s", "AC D"), std::invalid_argument);
+}
+
+TEST(Sequence, FromCodesValidated) {
+  std::vector<std::uint8_t> bad{0, 1, 200};
+  EXPECT_THROW(Sequence("s", std::move(bad), AlphabetKind::AminoAcid),
+               std::invalid_argument);
+}
+
+TEST(Sequence, EqualityIncludesIdAndKind) {
+  const Sequence a("x", "ACD");
+  const Sequence b("x", "ACD");
+  const Sequence c("y", "ACD");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Sequence, EmptySequence) {
+  const Sequence s("e", "");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.text(), "");
+}
+
+// ---- FASTA ------------------------------------------------------------------
+
+TEST(Fasta, ParseBasic) {
+  const auto seqs = parse_fasta(">a desc here\nACDE\nFGH\n>b\nWWW\n");
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].id(), "a");
+  EXPECT_EQ(seqs[0].text(), "ACDEFGH");
+  EXPECT_EQ(seqs[1].id(), "b");
+  EXPECT_EQ(seqs[1].text(), "WWW");
+}
+
+TEST(Fasta, SkipsBlankLinesAndTrims) {
+  const auto seqs = parse_fasta("\n>a\n  ACD  \n\nEF\n");
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].text(), "ACDEF");
+}
+
+TEST(Fasta, DataBeforeHeaderThrows) {
+  EXPECT_THROW(parse_fasta("ACDE\n>a\nACD\n"), std::runtime_error);
+}
+
+TEST(Fasta, GapCharactersRejected) {
+  EXPECT_THROW(parse_fasta(">a\nAC-DE\n"), std::runtime_error);
+}
+
+TEST(Fasta, RoundTripThroughWriter) {
+  const auto in = parse_fasta(">a\nACDEFGHIKLMNPQRSTVWY\n>b\nWWWW\n");
+  std::ostringstream os;
+  write_fasta(os, in, 7);
+  const auto out = parse_fasta(os.str());
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(Fasta, WriterWrapsLines) {
+  const auto in = parse_fasta(">a\nACDEFGHIKL\n");
+  std::ostringstream os;
+  write_fasta(os, in, 4);
+  EXPECT_EQ(os.str(), ">a\nACDE\nFGHI\nKL\n");
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/x.fa"), std::runtime_error);
+}
+
+// ---- SubstitutionMatrix --------------------------------------------------------
+
+TEST(SubstitutionMatrix, Blosum62KnownValues) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  const auto& a = Alphabet::amino_acid();
+  EXPECT_FLOAT_EQ(m.score(a.encode('A'), a.encode('A')), 4.0F);
+  EXPECT_FLOAT_EQ(m.score(a.encode('W'), a.encode('W')), 11.0F);
+  EXPECT_FLOAT_EQ(m.score(a.encode('A'), a.encode('W')), -3.0F);
+  EXPECT_FLOAT_EQ(m.score(a.encode('E'), a.encode('D')), 2.0F);
+  EXPECT_FLOAT_EQ(m.score(a.encode('C'), a.encode('C')), 9.0F);
+}
+
+TEST(SubstitutionMatrix, Pam250KnownValues) {
+  const auto& m = SubstitutionMatrix::pam250();
+  const auto& a = Alphabet::amino_acid();
+  EXPECT_FLOAT_EQ(m.score(a.encode('W'), a.encode('W')), 17.0F);
+  EXPECT_FLOAT_EQ(m.score(a.encode('C'), a.encode('C')), 12.0F);
+  EXPECT_FLOAT_EQ(m.score(a.encode('F'), a.encode('Y')), 7.0F);
+  EXPECT_FLOAT_EQ(m.score(a.encode('D'), a.encode('W')), -7.0F);
+}
+
+class SymmetryTest
+    : public ::testing::TestWithParam<const SubstitutionMatrix*> {};
+
+TEST_P(SymmetryTest, MatrixIsSymmetric) {
+  const SubstitutionMatrix& m = *GetParam();
+  const int n = Alphabet::get(m.alphabet_kind()).size();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      EXPECT_FLOAT_EQ(m.score(static_cast<std::uint8_t>(i),
+                              static_cast<std::uint8_t>(j)),
+                      m.score(static_cast<std::uint8_t>(j),
+                              static_cast<std::uint8_t>(i)))
+          << i << "," << j;
+}
+
+TEST_P(SymmetryTest, DiagonalDominatesRowAverage) {
+  // Self-substitution must beat the average substitution for every residue
+  // (a basic sanity property of log-odds matrices).
+  const SubstitutionMatrix& m = *GetParam();
+  const int n = Alphabet::get(m.alphabet_kind()).letters();
+  for (int i = 0; i < n; ++i) {
+    float row_avg = 0.0F;
+    for (int j = 0; j < n; ++j)
+      row_avg += m.score(static_cast<std::uint8_t>(i),
+                         static_cast<std::uint8_t>(j));
+    row_avg /= static_cast<float>(n);
+    EXPECT_GT(m.score(static_cast<std::uint8_t>(i),
+                      static_cast<std::uint8_t>(i)),
+              row_avg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, SymmetryTest,
+                         ::testing::Values(&SubstitutionMatrix::blosum62(),
+                                           &SubstitutionMatrix::pam250(),
+                                           &SubstitutionMatrix::dna_default()),
+                         [](const auto& info) {
+                           return std::string(info.param->name())
+                                      .substr(0, 3) +
+                                  std::to_string(info.index);
+                         });
+
+TEST(SubstitutionMatrix, ExpectedScoreNegative) {
+  // Log-odds matrices have negative expected score under the background
+  // distribution — otherwise local alignment would not be well-defined.
+  EXPECT_LT(SubstitutionMatrix::blosum62().expected_score(), 0.0F);
+  EXPECT_LT(SubstitutionMatrix::dna_default().expected_score(), 0.0F);
+}
+
+TEST(SubstitutionMatrix, WildcardScores) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  const auto& a = Alphabet::amino_acid();
+  EXPECT_FLOAT_EQ(m.score(a.wildcard(), a.encode('A')),
+                  SubstitutionMatrix::kWildcardScore);
+  EXPECT_FLOAT_EQ(m.score(a.wildcard(), a.wildcard()),
+                  SubstitutionMatrix::kWildcardScore);
+}
+
+TEST(SubstitutionMatrix, DefaultGapsPositive) {
+  const GapPenalties g = SubstitutionMatrix::blosum62().default_gaps();
+  EXPECT_GT(g.open, 0.0F);
+  EXPECT_GT(g.extend, 0.0F);
+  EXPECT_GE(g.open, g.extend);
+}
+
+}  // namespace
+}  // namespace salign::bio

@@ -1,0 +1,490 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "cli/arg_parser.hpp"
+#include "cli/commands.hpp"
+#include "msa/alignment.hpp"
+#include "msa/clustal_format.hpp"
+
+namespace salign::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> argv(std::initializer_list<std::string> list) {
+  return {list};
+}
+
+/// Temp directory fixture: every test gets a fresh scratch dir.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("salign_cli_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Runs a command capturing stdout/stderr.
+  struct Result {
+    int status = 0;
+    std::string out;
+    std::string err;
+  };
+  static Result run(const std::vector<std::string>& args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int status = dispatch(args, out, err);
+    return {status, out.str(), err.str()};
+  }
+
+  void write_demo_fasta(const std::string& p, std::size_t n = 12) {
+    Result r = run(argv({"generate", "--kind", "rose", "--n",
+                         std::to_string(n), "--length", "50", "--out", p}));
+    ASSERT_EQ(r.status, 0) << r.err;
+  }
+
+  fs::path dir_;
+};
+
+// ---- ArgParser --------------------------------------------------------------
+
+TEST(ArgParserTest, FlagsAndOptionsParse) {
+  ArgParser p("x", "test");
+  p.flag("verbose", "v").option("n", "count", "4", "n").positional("file",
+                                                                   "f");
+  const std::vector<std::string> args{"--verbose", "--n", "9", "input.txt"};
+  p.parse(args);
+  EXPECT_TRUE(p.get_flag("verbose"));
+  EXPECT_EQ(p.get("n"), "9");
+  ASSERT_EQ(p.positionals().size(), 1u);
+  EXPECT_EQ(p.positionals()[0], "input.txt");
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  ArgParser p("x", "test");
+  p.option("n", "count", "4", "n");
+  const std::vector<std::string> args{"--n=17"};
+  p.parse(args);
+  EXPECT_EQ(p.get_int("n", 0, 100), 17);
+}
+
+TEST(ArgParserTest, DefaultsSurviveWhenUnset) {
+  ArgParser p("x", "test");
+  p.option("n", "count", "4", "n").flag("verbose", "v");
+  p.parse({});
+  EXPECT_EQ(p.get_int("n", 0, 100), 4);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(ArgParserTest, UnknownOptionThrows) {
+  ArgParser p("x", "test");
+  const std::vector<std::string> args{"--nope"};
+  EXPECT_THROW(p.parse(args), UsageError);
+}
+
+TEST(ArgParserTest, MissingValueThrows) {
+  ArgParser p("x", "test");
+  p.option("n", "count", "4", "n");
+  const std::vector<std::string> args{"--n"};
+  EXPECT_THROW(p.parse(args), UsageError);
+}
+
+TEST(ArgParserTest, FlagWithValueThrows) {
+  ArgParser p("x", "test");
+  p.flag("verbose", "v");
+  const std::vector<std::string> args{"--verbose=yes"};
+  EXPECT_THROW(p.parse(args), UsageError);
+}
+
+TEST(ArgParserTest, ExtraPositionalThrows) {
+  ArgParser p("x", "test");
+  const std::vector<std::string> args{"stray"};
+  EXPECT_THROW(p.parse(args), UsageError);
+}
+
+TEST(ArgParserTest, MissingRequiredPositionalThrows) {
+  ArgParser p("x", "test");
+  p.positional("file", "f", true);
+  EXPECT_THROW(p.parse({}), UsageError);
+}
+
+TEST(ArgParserTest, IntValidation) {
+  ArgParser p("x", "test");
+  p.option("n", "count", "4", "n");
+  const std::vector<std::string> bad{"--n", "abc"};
+  p.parse(bad);
+  EXPECT_THROW((void)p.get_int("n", 0, 100), UsageError);
+
+  ArgParser q("x", "test");
+  q.option("n", "count", "4", "n");
+  const std::vector<std::string> range{"--n", "200"};
+  q.parse(range);
+  EXPECT_THROW((void)q.get_int("n", 0, 100), UsageError);
+}
+
+TEST(ArgParserTest, DoubleValidation) {
+  ArgParser p("x", "test");
+  p.option("r", "x", "1.5", "r");
+  const std::vector<std::string> args{"--r", "2.5e-1"};
+  p.parse(args);
+  EXPECT_DOUBLE_EQ(p.get_double("r", 0.0, 1.0), 0.25);
+  ArgParser q("x", "test");
+  q.option("r", "x", "1.5", "r");
+  const std::vector<std::string> bad{"--r", "1.5x"};
+  q.parse(bad);
+  EXPECT_THROW((void)q.get_double("r", 0.0, 10.0), UsageError);
+}
+
+TEST(ArgParserTest, HelpStopsParsing) {
+  ArgParser p("x", "test");
+  const std::vector<std::string> args{"--help", "--unknown-is-fine"};
+  p.parse(args);
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(ArgParserTest, UsageMentionsEverything) {
+  ArgParser p("mycmd", "Does things.");
+  p.option("n", "count", "4", "how many").flag("fast", "go faster");
+  p.positional("file", "the input");
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("mycmd"), std::string::npos);
+  EXPECT_NE(u.find("--n"), std::string::npos);
+  EXPECT_NE(u.find("--fast"), std::string::npos);
+  EXPECT_NE(u.find("<file>"), std::string::npos);
+  EXPECT_NE(u.find("default: 4"), std::string::npos);
+}
+
+// ---- dispatch ---------------------------------------------------------------
+
+TEST_F(CliTest, HelpOnEmptyArgs) {
+  const Result r = run({});
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("salign"), std::string::npos);
+  EXPECT_NE(r.out.find("align"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFailsWithUsage) {
+  const Result r = run(argv({"frobnicate"}));
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, PerCommandHelp) {
+  for (const char* cmd : {"align", "score", "rank", "tree", "generate"}) {
+    const Result r = run(argv({cmd, "--help"}));
+    EXPECT_EQ(r.status, 0) << cmd;
+    EXPECT_NE(r.out.find("usage: salign"), std::string::npos) << cmd;
+  }
+}
+
+// ---- generate ---------------------------------------------------------------
+
+TEST_F(CliTest, GenerateRoseWritesReadableFasta) {
+  const std::string p = path("fam.fasta");
+  write_demo_fasta(p, 10);
+  const auto seqs = bio::read_fasta_file(p);
+  EXPECT_EQ(seqs.size(), 10u);
+}
+
+TEST_F(CliTest, GenerateSuitesWriteCasePairs) {
+  const Result r = run(argv({"generate", "--kind", "prefab", "--n", "2",
+                             "--out", path("pf")}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  for (int i = 0; i < 2; ++i) {
+    const auto seqs =
+        bio::read_fasta_file(path("pf" + std::to_string(i) + ".fasta"));
+    EXPECT_GE(seqs.size(), 20u);
+    std::ifstream ref(path("pf" + std::to_string(i) + ".ref.afa"));
+    ASSERT_TRUE(ref.good());
+    const msa::Alignment a = msa::read_aligned_fasta(ref);
+    EXPECT_EQ(a.num_rows(), seqs.size());
+  }
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  const Result r = run(argv({"generate", "--kind", "rose"}));
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateUnknownKindFails) {
+  const Result r = run(argv({"generate", "--kind", "nope", "--out",
+                             path("x")}));
+  EXPECT_EQ(r.status, 2);
+}
+
+// ---- align ------------------------------------------------------------------
+
+TEST_F(CliTest, AlignRoundTripsThroughFiles) {
+  const std::string in = path("in.fasta");
+  const std::string out_file = path("out.afa");
+  write_demo_fasta(in, 12);
+  const Result r = run(argv({"align", "--in", in, "--out", out_file,
+                             "--procs", "3"}));
+  ASSERT_EQ(r.status, 0) << r.err;
+
+  const auto seqs = bio::read_fasta_file(in);
+  std::ifstream f(out_file);
+  const msa::Alignment a = msa::read_aligned_fasta(f);
+  ASSERT_EQ(a.num_rows(), seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i)
+    EXPECT_EQ(a.degapped(i), seqs[i]);
+}
+
+TEST_F(CliTest, AlignToStdout) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 6);
+  const Result r = run(argv({"align", "--in", in, "--procs", "1"}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find('>'), std::string::npos);
+}
+
+TEST_F(CliTest, AlignStatsGoToStderr) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 12);
+  const Result r = run(argv({"align", "--in", in, "--procs", "2",
+                             "--stats", "--sp"}));
+  ASSERT_EQ(r.status, 0);
+  EXPECT_NE(r.err.find("local alignment"), std::string::npos);
+  EXPECT_NE(r.err.find("SP score"), std::string::npos);
+}
+
+TEST_F(CliTest, AlignEveryAlignerName) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 6);
+  for (const char* name : {"muscle", "muscle-refine", "clustalw", "tcoffee",
+                           "nwnsi", "fftnsi", "probcons"}) {
+    const Result r = run(argv({"align", "--in", in, "--procs", "1",
+                               "--aligner", name}));
+    EXPECT_EQ(r.status, 0) << name << ": " << r.err;
+  }
+}
+
+TEST_F(CliTest, AlignRankModeAndPolishFlags) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 16);
+  const Result local = run(argv({"align", "--in", in, "--procs", "4",
+                                 "--rank-mode", "local", "--polish"}));
+  EXPECT_EQ(local.status, 0) << local.err;
+  const Result bad = run(argv({"align", "--in", in, "--rank-mode", "nope"}));
+  EXPECT_EQ(bad.status, 2);
+}
+
+TEST_F(CliTest, AlignMissingInputIsUsageError) {
+  const Result r = run(argv({"align"}));
+  EXPECT_EQ(r.status, 2);
+}
+
+TEST_F(CliTest, AlignNonexistentFileIsRuntimeError) {
+  const Result r = run(argv({"align", "--in", path("missing.fasta")}));
+  EXPECT_EQ(r.status, 1);
+}
+
+TEST_F(CliTest, AlignUnknownAlignerIsUsageError) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 6);
+  const Result r = run(argv({"align", "--in", in, "--aligner", "nope"}));
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("unknown aligner"), std::string::npos);
+}
+
+// ---- score ------------------------------------------------------------------
+
+TEST_F(CliTest, ScoreReferenceAgainstItselfIsPerfect) {
+  const Result gen = run(argv({"generate", "--kind", "prefab", "--n", "1",
+                               "--out", path("pf")}));
+  ASSERT_EQ(gen.status, 0);
+  const Result r = run(argv({"score", "--test", path("pf0.ref.afa"),
+                             "--ref", path("pf0.ref.afa"),
+                             "--core-min-run", "5"}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("Q:          1"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Q(core):    1"), std::string::npos) << r.out;
+}
+
+TEST_F(CliTest, ScoreAlignedOutputAgainstReference) {
+  const Result gen = run(argv({"generate", "--kind", "prefab", "--n", "1",
+                               "--out", path("pf")}));
+  ASSERT_EQ(gen.status, 0);
+  const Result aln = run(argv({"align", "--in", path("pf0.fasta"), "--out",
+                               path("pf0.afa"), "--procs", "2"}));
+  ASSERT_EQ(aln.status, 0) << aln.err;
+  const Result r = run(argv({"score", "--test", path("pf0.afa"), "--ref",
+                             path("pf0.ref.afa")}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("Q:"), std::string::npos);
+  EXPECT_NE(r.out.find("TC:"), std::string::npos);
+}
+
+TEST_F(CliTest, ScoreMissingArgsIsUsageError) {
+  const Result r = run(argv({"score", "--test", path("x.afa")}));
+  EXPECT_EQ(r.status, 2);
+}
+
+// ---- rank -------------------------------------------------------------------
+
+TEST_F(CliTest, RankPrintsPerSequenceRows) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 8);
+  const Result r = run(argv({"rank", "--in", in}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("rose_0"), std::string::npos);
+  EXPECT_NE(r.out.find("mean="), std::string::npos);
+}
+
+TEST_F(CliTest, RankHistogramMode) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 16);
+  const Result r = run(argv({"rank", "--in", in, "--hist"}));
+  ASSERT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find('#'), std::string::npos);
+}
+
+TEST_F(CliTest, RankGlobalizedSampleMode) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 16);
+  const Result centralized = run(argv({"rank", "--in", in}));
+  const Result sampled = run(argv({"rank", "--in", in, "--sample", "4"}));
+  ASSERT_EQ(centralized.status, 0);
+  ASSERT_EQ(sampled.status, 0);
+  // Different reference sets -> (generally) different mean rank lines.
+  EXPECT_NE(centralized.out, sampled.out);
+}
+
+TEST_F(CliTest, RankEmptyFastaIsRuntimeError) {
+  const std::string in = path("empty.fasta");
+  std::ofstream(in).close();
+  const Result r = run(argv({"rank", "--in", in}));
+  EXPECT_EQ(r.status, 1);
+}
+
+TEST_F(CliTest, AlignClustalFormatRoundTrips) {
+  const std::string in = path("in.fasta");
+  const std::string aln = path("out.aln");
+  write_demo_fasta(in, 6);
+  const Result r = run(
+      argv({"align", "--in", in, "--out", aln, "--format", "clustal"}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  std::ifstream f(aln);
+  msa::Alignment back = msa::read_clustal(f);
+  EXPECT_EQ(back.num_rows(), 6u);
+  back.validate();
+}
+
+TEST_F(CliTest, AlignUnknownFormatIsUsageError) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 4);
+  const Result r = run(argv({"align", "--in", in, "--format", "msf"}));
+  EXPECT_EQ(r.status, 2);
+}
+
+// ---- tree -------------------------------------------------------------------
+
+namespace {
+
+/// Minimal Newick well-formedness check: balanced parens, ends with ';',
+/// contains every leaf name exactly once.
+void expect_newick_with_leaves(const std::string& s,
+                               std::span<const std::string> leaves) {
+  int depth = 0;
+  for (const char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(s.find(';'), std::string::npos);
+  for (const auto& leaf : leaves) {
+    const auto first = s.find(leaf);
+    ASSERT_NE(first, std::string::npos) << leaf;
+    EXPECT_EQ(s.find(leaf, first + leaf.size() + 1), std::string::npos)
+        << leaf << " appears twice";
+  }
+}
+
+}  // namespace
+
+TEST_F(CliTest, TreePrintsNewickWithEveryLeaf) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 8);
+  const Result r = run(argv({"tree", "--in", in}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  std::vector<std::string> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back("rose_" + std::to_string(i));
+  expect_newick_with_leaves(r.out, leaves);
+}
+
+TEST_F(CliTest, TreeMethodsAndDistancesAllWork) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 6);
+  for (const char* method : {"upgma", "nj"}) {
+    for (const char* dist : {"kmer", "kimura"}) {
+      const Result r =
+          run(argv({"tree", "--in", in, "--method", method, "--dist", dist}));
+      ASSERT_EQ(r.status, 0) << method << "/" << dist << ": " << r.err;
+      EXPECT_NE(r.out.find(';'), std::string::npos);
+    }
+  }
+}
+
+TEST_F(CliTest, TreeWeightsTableListsEverySequence) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 6);
+  const Result r = run(argv({"tree", "--in", in, "--weights"}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("weight"), std::string::npos);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_NE(r.out.find("rose_" + std::to_string(i)), std::string::npos);
+}
+
+TEST_F(CliTest, TreeWritesNewickFile) {
+  const std::string in = path("in.fasta");
+  const std::string nwk = path("out.nwk");
+  write_demo_fasta(in, 6);
+  const Result r = run(argv({"tree", "--in", in, "--out", nwk}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  std::ifstream f(nwk);
+  std::string contents((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find(';'), std::string::npos);
+}
+
+TEST_F(CliTest, TreeRejectsBadMethodAndDistance) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 4);
+  EXPECT_EQ(run(argv({"tree", "--in", in, "--method", "ml"})).status, 2);
+  EXPECT_EQ(run(argv({"tree", "--in", in, "--dist", "hamming"})).status, 2);
+  EXPECT_EQ(run(argv({"tree"})).status, 2);  // missing --in
+}
+
+TEST_F(CliTest, TreeNeedsAtLeastTwoSequences) {
+  const std::string in = path("one.fasta");
+  std::ofstream f(in);
+  f << ">only\nMKVLAT\n";
+  f.close();
+  const Result r = run(argv({"tree", "--in", in}));
+  EXPECT_EQ(r.status, 1);
+}
+
+}  // namespace
+}  // namespace salign::cli

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "msa/alignment.hpp"
+
+namespace salign::msa {
+namespace {
+
+using Rows = std::vector<std::pair<std::string, std::string>>;
+
+Alignment make(const Rows& rows) { return Alignment::from_texts(rows); }
+
+TEST(Alignment, FromTextsAndRowText) {
+  const Alignment a = make({{"a", "AC-D"}, {"b", "A-CD"}});
+  EXPECT_EQ(a.num_rows(), 2u);
+  EXPECT_EQ(a.num_cols(), 4u);
+  EXPECT_EQ(a.row_text(0), "AC-D");
+  EXPECT_EQ(a.row_text(1), "A-CD");
+  EXPECT_TRUE(a.is_gap(0, 2));
+  EXPECT_FALSE(a.is_gap(0, 0));
+}
+
+TEST(Alignment, DotIsGapToo) {
+  const Alignment a = make({{"a", "A.C"}});
+  EXPECT_TRUE(a.is_gap(0, 1));
+}
+
+TEST(Alignment, RaggedRowsRejected) {
+  EXPECT_THROW(make({{"a", "ACD"}, {"b", "AC"}}), std::logic_error);
+}
+
+TEST(Alignment, EmptyIdRejected) {
+  EXPECT_THROW(make({{"", "ACD"}}), std::logic_error);
+}
+
+TEST(Alignment, FromSequence) {
+  const bio::Sequence s("x", "ACDEF");
+  const Alignment a = Alignment::from_sequence(s);
+  EXPECT_EQ(a.num_rows(), 1u);
+  EXPECT_EQ(a.num_cols(), 5u);
+  EXPECT_EQ(a.row_text(0), "ACDEF");
+}
+
+TEST(Alignment, DegapRestoresSequence) {
+  const Alignment a = make({{"a", "-AC--D-"}});
+  const bio::Sequence s = a.degapped(0);
+  EXPECT_EQ(s.text(), "ACD");
+  EXPECT_EQ(s.id(), "a");
+}
+
+TEST(Alignment, ResidueCount) {
+  const Alignment a = make({{"a", "-AC--D-"}, {"b", "-------"}});
+  EXPECT_EQ(a.residue_count(0), 3u);
+  EXPECT_EQ(a.residue_count(1), 0u);
+}
+
+TEST(Alignment, SubsetKeepsColumns) {
+  const Alignment a = make({{"a", "AC"}, {"b", "CD"}, {"c", "EF"}});
+  const std::vector<std::size_t> pick{2, 0};
+  const Alignment s = a.subset(pick);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.row(0).id, "c");
+  EXPECT_EQ(s.row(1).id, "a");
+  EXPECT_EQ(s.num_cols(), 2u);
+}
+
+TEST(Alignment, SubsetOutOfRangeThrows) {
+  const Alignment a = make({{"a", "AC"}});
+  const std::vector<std::size_t> pick{1};
+  EXPECT_THROW((void)a.subset(pick), std::out_of_range);
+}
+
+TEST(Alignment, StripAllGapColumns) {
+  Alignment a = make({{"a", "A--C-"}, {"b", "A--D-"}});
+  const std::size_t removed = a.strip_all_gap_columns();
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(a.num_cols(), 2u);
+  EXPECT_EQ(a.row_text(0), "AC");
+  EXPECT_EQ(a.row_text(1), "AD");
+}
+
+TEST(Alignment, StripKeepsPartiallyGappedColumns) {
+  Alignment a = make({{"a", "A-C"}, {"b", "AB-"}});
+  EXPECT_EQ(a.strip_all_gap_columns(), 0u);
+  EXPECT_EQ(a.num_cols(), 3u);
+}
+
+TEST(Alignment, InsertGapColumns) {
+  Alignment a = make({{"a", "ACD"}});
+  const std::vector<std::size_t> pos{0, 2, 3};
+  a.insert_gap_columns(pos);
+  EXPECT_EQ(a.row_text(0), "-AC-D-");
+}
+
+TEST(Alignment, InsertGapColumnsRepeatedPosition) {
+  Alignment a = make({{"a", "AC"}});
+  const std::vector<std::size_t> pos{1, 1};
+  a.insert_gap_columns(pos);
+  EXPECT_EQ(a.row_text(0), "A--C");
+}
+
+TEST(Alignment, InsertGapColumnsUnsortedThrows) {
+  Alignment a = make({{"a", "AC"}});
+  const std::vector<std::size_t> pos{1, 0};
+  EXPECT_THROW(a.insert_gap_columns(pos), std::invalid_argument);
+}
+
+TEST(Alignment, InsertGapColumnsPastEndThrows) {
+  Alignment a = make({{"a", "AC"}});
+  const std::vector<std::size_t> pos{3};
+  EXPECT_THROW(a.insert_gap_columns(pos), std::out_of_range);
+}
+
+TEST(Alignment, AppendRows) {
+  Alignment a = make({{"a", "AC"}});
+  const Alignment b = make({{"b", "GG"}});
+  a.append_rows(b);
+  EXPECT_EQ(a.num_rows(), 2u);
+  EXPECT_EQ(a.row(1).id, "b");
+}
+
+TEST(Alignment, AppendRowsWidthMismatchThrows) {
+  Alignment a = make({{"a", "AC"}});
+  const Alignment b = make({{"b", "GGG"}});
+  EXPECT_THROW(a.append_rows(b), std::invalid_argument);
+}
+
+TEST(Alignment, EmptyAlignmentBasics) {
+  const Alignment a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.num_cols(), 0u);
+  EXPECT_NO_THROW(a.validate());
+}
+
+// ---- aligned FASTA ------------------------------------------------------------
+
+TEST(AlignedFasta, RoundTrip) {
+  const Alignment a = make({{"a", "AC-DEF"}, {"b", "ACW--F"}});
+  std::ostringstream os;
+  write_aligned_fasta(os, a, 4);
+  std::istringstream is(os.str());
+  const Alignment back = read_aligned_fasta(is);
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.row_text(0), "AC-DEF");
+  EXPECT_EQ(back.row_text(1), "ACW--F");
+}
+
+TEST(AlignedFasta, RaggedInputThrows) {
+  std::istringstream is(">a\nAC-\n>b\nAC\n");
+  EXPECT_THROW((void)read_aligned_fasta(is), std::logic_error);
+}
+
+TEST(AlignedFasta, DataBeforeHeaderThrows) {
+  std::istringstream is("AC-\n");
+  EXPECT_THROW((void)read_aligned_fasta(is), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace salign::msa

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "msa/alignment.hpp"
+#include "msa/clustal_format.hpp"
+#include "msa/muscle_like.hpp"
+#include "workload/prefab.hpp"
+
+namespace salign::msa {
+namespace {
+
+Alignment demo() {
+  return Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{
+          {"seq_alpha", "MKV-LATTW"},
+          {"b", "MKVQLATTW"},
+          {"longer_name_here", "MKVQLSTTW"}});
+}
+
+// ---- conservation symbols ---------------------------------------------------------
+
+TEST(ClustalConservation, FullyConservedColumnIsStar) {
+  const Alignment a = Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "M"},
+                                                       {"b", "M"}});
+  EXPECT_EQ(conservation_symbols(a), "*");
+}
+
+TEST(ClustalConservation, StrongGroupIsColon) {
+  // S, T, A share the strong group "STA".
+  const Alignment a = Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{
+          {"a", "S"}, {"b", "T"}, {"c", "A"}});
+  EXPECT_EQ(conservation_symbols(a), ":");
+}
+
+TEST(ClustalConservation, WeakGroupIsDot) {
+  // C, S, A only share the weak group "CSA".
+  const Alignment a = Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{
+          {"a", "C"}, {"b", "S"}, {"c", "A"}});
+  EXPECT_EQ(conservation_symbols(a), ".");
+}
+
+TEST(ClustalConservation, UnrelatedResiduesAreBlank) {
+  const Alignment a = Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "W"},
+                                                       {"b", "D"}});
+  EXPECT_EQ(conservation_symbols(a), " ");
+}
+
+TEST(ClustalConservation, GapColumnIsNeverMarked) {
+  const Alignment a = Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "M-"},
+                                                       {"b", "MM"}});
+  EXPECT_EQ(conservation_symbols(a), "* ");
+}
+
+TEST(ClustalConservation, MixedColumnsEndToEnd) {
+  // col0 identical M; col1 gap; col2 STA strong; col3 CSA weak; col4 W vs D.
+  const Alignment a = Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "M-SCW"},
+                                                       {"b", "MMTSD"},
+                                                       {"c", "MMAAD"}});
+  EXPECT_EQ(conservation_symbols(a), "* :. ");
+}
+
+// Property sweep: a column holding every residue of a ClustalX strong group
+// must score ':' (never ' ', never '*' since the letters differ); one
+// holding a weak group must score at least '.'.
+class StrongGroupTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrongGroupTest, WholeGroupColumnScoresColon) {
+  const std::string group = GetParam();
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    rows.emplace_back("s" + std::to_string(i), std::string(1, group[i]));
+  EXPECT_EQ(conservation_symbols(Alignment::from_texts(rows)), ":");
+}
+
+INSTANTIATE_TEST_SUITE_P(ClustalX, StrongGroupTest,
+                         ::testing::Values("STA", "NEQK", "NHQK", "NDEQ",
+                                           "QHRK", "MILV", "MILF", "HY",
+                                           "FYW"));
+
+class WeakGroupTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WeakGroupTest, WholeGroupColumnScoresDotOrBetter) {
+  const std::string group = GetParam();
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    rows.emplace_back("s" + std::to_string(i), std::string(1, group[i]));
+  const std::string sym =
+      conservation_symbols(Alignment::from_texts(rows));
+  EXPECT_TRUE(sym == "." || sym == ":") << "got '" << sym << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(ClustalX, WeakGroupTest,
+                         ::testing::Values("CSA", "ATV", "SAG", "STNK",
+                                           "STPA", "SGND", "SNDEQK",
+                                           "NDEQHK", "NEQHRK", "FVLIM",
+                                           "HFY"));
+
+// ---- writer -----------------------------------------------------------------------
+
+TEST(ClustalWrite, HeaderAndEveryRowPresent) {
+  std::ostringstream os;
+  write_clustal(os, demo());
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("CLUSTAL", 0), 0u);
+  EXPECT_NE(s.find("seq_alpha"), std::string::npos);
+  EXPECT_NE(s.find("longer_name_here"), std::string::npos);
+  EXPECT_NE(s.find("MKV-LATTW"), std::string::npos);
+}
+
+TEST(ClustalWrite, BlocksRespectWidth) {
+  const Alignment a = Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{
+          {"x", std::string(150, 'M')}, {"y", std::string(150, 'M')}});
+  ClustalWriteOptions o;
+  o.block_width = 60;
+  std::ostringstream os;
+  write_clustal(os, a, o);
+  // 150 cols at width 60 -> blocks of 60/60/30; row "x" appears 3 times.
+  std::size_t count = 0;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line))
+    if (line.rfind("x ", 0) == 0) {
+      ++count;
+      // name(1) + 3 spaces + fragment
+      EXPECT_LE(line.size(), 4 + 60u);
+    }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(ClustalWrite, ConservationLineCanBeDisabled) {
+  ClustalWriteOptions o;
+  o.conservation_line = false;
+  std::ostringstream with_os;
+  write_clustal(with_os, demo());
+  std::ostringstream without_os;
+  write_clustal(without_os, demo(), o);
+  EXPECT_GT(with_os.str().size(), without_os.str().size());
+}
+
+TEST(ClustalWrite, EmptyAlignmentIsHeaderOnly) {
+  std::ostringstream os;
+  write_clustal(os, Alignment{});
+  EXPECT_EQ(os.str(), "CLUSTAL multiple sequence alignment (salign)\n\n");
+}
+
+TEST(ClustalWrite, ZeroWidthRejected) {
+  ClustalWriteOptions o;
+  o.block_width = 0;
+  std::ostringstream os;
+  EXPECT_THROW(write_clustal(os, demo(), o), std::invalid_argument);
+}
+
+// ---- round trip -------------------------------------------------------------------
+
+TEST(ClustalRoundTrip, WriteReadPreservesRowsAndOrder) {
+  const Alignment a = demo();
+  std::stringstream ss;
+  write_clustal(ss, a);
+  const Alignment back = read_clustal(ss);
+  ASSERT_EQ(back.num_rows(), a.num_rows());
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(back.row(r).id, a.row(r).id);
+    EXPECT_EQ(back.row_text(r), a.row_text(r));
+  }
+}
+
+TEST(ClustalRoundTrip, MultiBlockAlignmentSurvives) {
+  // A real aligner output spanning several 60-column blocks.
+  workload::PrefabParams pp;
+  pp.num_cases = 1;
+  pp.min_length = 150;
+  pp.max_length = 200;
+  const auto cases = workload::prefab_cases(pp);
+  const Alignment a = MuscleAligner().align(cases[0].sequences);
+  ASSERT_GT(a.num_cols(), 60u);
+  std::stringstream ss;
+  write_clustal(ss, a);
+  const Alignment back = read_clustal(ss);
+  ASSERT_EQ(back.num_rows(), a.num_rows());
+  for (std::size_t r = 0; r < a.num_rows(); ++r)
+    EXPECT_EQ(back.row_text(r), a.row_text(r));
+}
+
+// Round-trip property across block widths, including degenerate width 1 and
+// a width wider than the alignment.
+class BlockWidthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockWidthTest, RoundTripAtAnyWidth) {
+  const Alignment a = demo();
+  ClustalWriteOptions o;
+  o.block_width = GetParam();
+  std::stringstream ss;
+  write_clustal(ss, a, o);
+  const Alignment back = read_clustal(ss);
+  ASSERT_EQ(back.num_rows(), a.num_rows());
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(back.row(r).id, a.row(r).id);
+    EXPECT_EQ(back.row_text(r), a.row_text(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BlockWidthTest,
+                         ::testing::Values(1, 2, 7, 60, 1000));
+
+// ---- reader error paths ------------------------------------------------------------
+
+TEST(ClustalRead, MissingHeaderThrows) {
+  std::istringstream is("a MKV\nb MKV\n");
+  EXPECT_THROW((void)read_clustal(is), std::runtime_error);
+}
+
+TEST(ClustalRead, TrailingResidueCountsAccepted) {
+  std::istringstream is(
+      "CLUSTAL W (1.83)\n\n"
+      "a   MKV 3\n"
+      "b   MKV 3\n");
+  const Alignment a = read_clustal(is);
+  ASSERT_EQ(a.num_rows(), 2u);
+  EXPECT_EQ(a.row_text(0), "MKV");
+}
+
+TEST(ClustalRead, NonNumericTrailerThrows) {
+  std::istringstream is(
+      "CLUSTAL\n\n"
+      "a   MKV junk\n");
+  EXPECT_THROW((void)read_clustal(is), std::runtime_error);
+}
+
+TEST(ClustalRead, RaggedFragmentsThrow) {
+  std::istringstream is(
+      "CLUSTAL\n\n"
+      "a   MKVL\n"
+      "b   MK\n");
+  EXPECT_THROW((void)read_clustal(is), std::exception);
+}
+
+}  // namespace
+}  // namespace salign::msa

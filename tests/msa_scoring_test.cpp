@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "msa/scoring.hpp"
+#include "workload/evolver.hpp"
+
+namespace salign::msa {
+namespace {
+
+using bio::GapPenalties;
+using bio::SubstitutionMatrix;
+using Rows = std::vector<std::pair<std::string, std::string>>;
+
+const SubstitutionMatrix& B62() { return SubstitutionMatrix::blosum62(); }
+
+Alignment make(const Rows& rows) { return Alignment::from_texts(rows); }
+
+// ---- induced_pair_score ---------------------------------------------------------
+
+TEST(InducedPairScore, MatchesSpForTwoRows) {
+  const Alignment a = make({{"x", "ACD-W"}, {"y", "AC-EW"}});
+  const GapPenalties g{5.0F, 1.0F};
+  EXPECT_DOUBLE_EQ(induced_pair_score(a, 0, 1, B62(), g), sp_score(a, B62(), g));
+}
+
+TEST(InducedPairScore, SymmetricInRowOrder) {
+  const Alignment a = make({{"x", "ACDEW"}, {"y", "AC-EW"}, {"z", "A-DEW"}});
+  const GapPenalties g{4.0F, 1.0F};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(induced_pair_score(a, i, j, B62(), g),
+                       induced_pair_score(a, j, i, B62(), g));
+}
+
+TEST(InducedPairScore, SumOverPairsEqualsSpScore) {
+  workload::EvolveParams ep;
+  ep.num_sequences = 6;
+  ep.root_length = 40;
+  ep.mean_branch_distance = 0.4;
+  ep.seed = 3;
+  const auto fam = workload::evolve_family(ep);
+  const Alignment& ref = fam.reference;
+  const GapPenalties g = B62().default_gaps();
+  double total = 0.0;
+  for (std::size_t i = 0; i < ref.num_rows(); ++i)
+    for (std::size_t j = i + 1; j < ref.num_rows(); ++j)
+      total += induced_pair_score(ref, i, j, B62(), g);
+  EXPECT_NEAR(total, sp_score(ref, B62(), g), 1e-6);
+}
+
+// ---- SP score -----------------------------------------------------------------
+
+TEST(SpScore, SinglePairHandComputed) {
+  // A C
+  // A -
+  const Alignment a = make({{"x", "AC"}, {"y", "A-"}});
+  const GapPenalties g{5.0F, 1.0F};
+  EXPECT_NEAR(sp_score(a, B62(), g), 4.0 - 5.0, 1e-6);
+}
+
+TEST(SpScore, DoubleGapColumnsIgnored) {
+  const Alignment a = make({{"x", "A-C"}, {"y", "A-C"}});
+  EXPECT_NEAR(sp_score(a, B62(), {}), 4.0 + 9.0, 1e-6);
+}
+
+TEST(SpScore, AffineGapRunCountedOncePerOpen) {
+  // A C D E
+  // A - - E  : one gap of length 2 -> open + extend
+  const Alignment a = make({{"x", "ACDE"}, {"y", "A--E"}});
+  const GapPenalties g{5.0F, 1.0F};
+  EXPECT_NEAR(sp_score(a, B62(), g), 4.0 + 5.0 - 5.0 - 1.0, 1e-6);
+}
+
+TEST(SpScore, GapReopenAfterMatchPaysOpenAgain) {
+  // A C D E F
+  // A - D - F : two separate gaps -> two opens
+  const Alignment a = make({{"x", "ACDEF"}, {"y", "A-D-F"}});
+  const GapPenalties g{5.0F, 1.0F};
+  EXPECT_NEAR(sp_score(a, B62(), g), 4.0 + 6.0 + 6.0 - 5.0 - 5.0, 1e-6);
+}
+
+TEST(SpScore, ThreeRowsSumsAllPairs) {
+  const Alignment a = make({{"x", "A"}, {"y", "A"}, {"z", "C"}});
+  // pairs: (A,A)=4, (A,C)=0, (A,C)=0
+  EXPECT_NEAR(sp_score(a, B62(), {}), 4.0, 1e-6);
+}
+
+TEST(SpScore, FewerThanTwoRowsIsZero) {
+  EXPECT_DOUBLE_EQ(sp_score(make({{"x", "ACD"}}), B62(), {}), 0.0);
+}
+
+TEST(SpScore, SampledEstimateTracksExact) {
+  // Build a 40-row alignment of identical sequences: every pair scores the
+  // same, so the sampled estimate must equal the exact value exactly.
+  Rows rows;
+  for (int i = 0; i < 40; ++i)
+    rows.push_back({"s" + std::to_string(i), "MKWVLATT"});
+  const Alignment a = make(rows);
+  const double exact = sp_score(a, B62(), {});
+  const double sampled = sp_score(a, B62(), {}, 100, 3);
+  EXPECT_NEAR(sampled, exact, 1e-6);
+}
+
+TEST(SpScore, SampledEstimateReasonableOnMixedAlignment) {
+  workload::EvolveParams ep;
+  ep.num_sequences = 30;
+  ep.root_length = 50;
+  ep.mean_branch_distance = 0.4;
+  ep.seed = 77;
+  const auto fam = workload::evolve_family(ep);
+  const double exact = sp_score(fam.reference, B62(), {});
+  const double sampled = sp_score(fam.reference, B62(), {}, 200, 5);
+  EXPECT_NEAR(sampled, exact, std::abs(exact) * 0.25 + 100.0);
+}
+
+// ---- Q score ------------------------------------------------------------------
+
+TEST(QScore, ReferenceVsItselfIsOne) {
+  const Alignment r = make({{"a", "AC-D"}, {"b", "ACWD"}, {"c", "A-WD"}});
+  EXPECT_DOUBLE_EQ(q_score(r, r), 1.0);
+}
+
+TEST(QScore, CompletelyDifferentAlignmentScoresZero) {
+  const Alignment ref = make({{"a", "AC"}, {"b", "AC"}});
+  // Test aligns a's residues against the *other* residue of b.
+  const Alignment test = make({{"a", "AC--"}, {"b", "--AC"}});
+  EXPECT_DOUBLE_EQ(q_score(test, ref), 0.0);
+}
+
+TEST(QScore, PartialRecovery) {
+  const Alignment ref = make({{"a", "ACD"}, {"b", "ACD"}});  // 3 pairs
+  const Alignment test = make({{"a", "ACD-"}, {"b", "AC-D"}});  // 2 recovered
+  EXPECT_NEAR(q_score(test, ref), 2.0 / 3.0, 1e-12);
+}
+
+TEST(QScore, RowOrderIrrelevant) {
+  const Alignment ref = make({{"a", "AC"}, {"b", "AC"}});
+  const Alignment test = make({{"b", "AC"}, {"a", "AC"}});
+  EXPECT_DOUBLE_EQ(q_score(test, ref), 1.0);
+}
+
+TEST(QScore, ExtraRowsInTestAllowed) {
+  const Alignment ref = make({{"a", "AC"}, {"b", "AC"}});
+  const Alignment test = make({{"a", "AC"}, {"b", "AC"}, {"c", "AC"}});
+  EXPECT_DOUBLE_EQ(q_score(test, ref), 1.0);
+}
+
+TEST(QScore, MissingRowThrows) {
+  const Alignment ref = make({{"a", "AC"}, {"b", "AC"}});
+  const Alignment test = make({{"a", "AC"}});
+  EXPECT_THROW((void)q_score(test, ref), std::invalid_argument);
+}
+
+TEST(QScore, NoAlignedPairsGivesZero) {
+  const Alignment ref = make({{"a", "A-"}, {"b", "-C"}});
+  const Alignment test = make({{"a", "A-"}, {"b", "-C"}});
+  EXPECT_DOUBLE_EQ(q_score(test, ref), 0.0);
+}
+
+TEST(QScore, EvolvedFamilyReferenceSelfConsistent) {
+  workload::EvolveParams ep;
+  ep.num_sequences = 12;
+  ep.root_length = 60;
+  ep.mean_branch_distance = 0.5;
+  ep.seed = 99;
+  const auto fam = workload::evolve_family(ep);
+  EXPECT_DOUBLE_EQ(q_score(fam.reference, fam.reference), 1.0);
+}
+
+// ---- TC score ------------------------------------------------------------------
+
+TEST(TcScore, SelfIsOne) {
+  const Alignment r = make({{"a", "ACD"}, {"b", "ACD"}, {"c", "AC-"}});
+  EXPECT_DOUBLE_EQ(tc_score(r, r), 1.0);
+}
+
+TEST(TcScore, BrokenColumnNotCounted) {
+  const Alignment ref = make({{"a", "ACD"}, {"b", "ACD"}});
+  const Alignment test = make({{"a", "ACD-"}, {"b", "AC-D"}});
+  EXPECT_NEAR(tc_score(test, ref), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TcScore, SingleResidueColumnsCarryNoConstraint) {
+  const Alignment ref = make({{"a", "A-"}, {"b", "-C"}});
+  const Alignment test = make({{"a", "-A"}, {"b", "C-"}});
+  EXPECT_DOUBLE_EQ(tc_score(test, ref), 0.0);  // no scored columns
+}
+
+TEST(TcScore, TcNeverExceedsQ) {
+  // TC is strictly harsher than Q (a column counts only if all its pairs
+  // are recovered).
+  workload::EvolveParams ep;
+  ep.num_sequences = 8;
+  ep.root_length = 40;
+  ep.mean_branch_distance = 0.6;
+  ep.seed = 123;
+  const auto fam = workload::evolve_family(ep);
+  // Perturb: strip all-gap columns of a row subset to get a "test"
+  // alignment that differs from the reference.
+  const std::vector<std::size_t> rows{0, 1, 2, 3, 4, 5, 6, 7};
+  Alignment test = fam.reference.subset(rows);
+  test.insert_gap_columns(std::vector<std::size_t>{0});
+  EXPECT_LE(tc_score(test, fam.reference), q_score(test, fam.reference) + 1e-12);
+}
+
+}  // namespace
+}  // namespace salign::msa

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "msa/guide_tree.hpp"
+#include "util/rng.hpp"
+
+namespace salign::msa {
+namespace {
+
+util::SymmetricMatrix<double> matrix_from(
+    const std::vector<std::vector<double>>& d) {
+  util::SymmetricMatrix<double> m(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    for (std::size_t j = 0; j <= i; ++j) m(i, j) = d[i][j];
+  return m;
+}
+
+// ---- UPGMA ---------------------------------------------------------------------
+
+TEST(Upgma, SingleLeaf) {
+  util::SymmetricMatrix<double> d(1);
+  const GuideTree t = GuideTree::upgma(d);
+  EXPECT_EQ(t.num_leaves(), 1u);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_TRUE(t.is_leaf(0));
+}
+
+TEST(Upgma, TwoLeaves) {
+  const auto d = matrix_from({{0}, {4, 0}});
+  const GuideTree t = GuideTree::upgma(d);
+  EXPECT_EQ(t.num_nodes(), 3u);
+  const TreeNode& root = t.node(static_cast<std::size_t>(t.root()));
+  EXPECT_DOUBLE_EQ(root.height, 2.0);
+  EXPECT_DOUBLE_EQ(root.left_length, 2.0);
+  EXPECT_DOUBLE_EQ(root.right_length, 2.0);
+}
+
+TEST(Upgma, JoinsClosestPairFirst) {
+  // 0 and 1 are closest; they must share the first internal node.
+  const auto d = matrix_from({{0}, {1, 0}, {8, 8, 0}, {8, 8, 2, 0}});
+  const GuideTree t = GuideTree::upgma(d);
+  const TreeNode& first = t.node(4);  // first created internal node
+  const std::set<int> joined{first.left, first.right};
+  EXPECT_TRUE((joined == std::set<int>{0, 1}));
+}
+
+TEST(Upgma, UltrametricHeightsMonotone) {
+  util::Rng rng(7);
+  const std::size_t n = 20;
+  util::SymmetricMatrix<double> d(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) d(i, j) = rng.uniform(0.1, 2.0);
+  const GuideTree t = GuideTree::upgma(d);
+  // Parent height >= child height for all internal nodes (UPGMA invariant).
+  for (std::size_t i = n; i < t.num_nodes(); ++i) {
+    const TreeNode& nd = t.node(i);
+    EXPECT_GE(nd.height,
+              t.node(static_cast<std::size_t>(nd.left)).height - 1e-12);
+    EXPECT_GE(nd.height,
+              t.node(static_cast<std::size_t>(nd.right)).height - 1e-12);
+    EXPECT_GE(nd.left_length, 0.0);
+    EXPECT_GE(nd.right_length, 0.0);
+  }
+}
+
+TEST(Upgma, RecoversUltrametricTreeExactly) {
+  // Perfect ultrametric input: ((0,1):1,(2,3):2):3 style distances.
+  const auto d = matrix_from({{0.0},
+                              {2.0, 0.0},
+                              {6.0, 6.0, 0.0},
+                              {6.0, 6.0, 4.0, 0.0}});
+  const GuideTree t = GuideTree::upgma(d);
+  // Heights: (0,1) at 1, (2,3) at 2, root at 3.
+  std::vector<double> heights;
+  for (std::size_t i = t.num_leaves(); i < t.num_nodes(); ++i)
+    heights.push_back(t.node(i).height);
+  std::sort(heights.begin(), heights.end());
+  ASSERT_EQ(heights.size(), 3u);
+  EXPECT_DOUBLE_EQ(heights[0], 1.0);
+  EXPECT_DOUBLE_EQ(heights[1], 2.0);
+  EXPECT_DOUBLE_EQ(heights[2], 3.0);
+}
+
+TEST(Upgma, EmptyMatrixThrows) {
+  util::SymmetricMatrix<double> d;
+  EXPECT_THROW((void)GuideTree::upgma(d), std::invalid_argument);
+}
+
+class TreeShapeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeShapeTest, StructuralInvariants) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  util::SymmetricMatrix<double> d(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) d(i, j) = rng.uniform(0.05, 3.0);
+
+  for (const GuideTree t :
+       {GuideTree::upgma(d), GuideTree::neighbor_joining(d)}) {
+    EXPECT_EQ(t.num_leaves(), n);
+    EXPECT_EQ(t.num_nodes(), 2 * n - 1);
+    // Every non-root node has a parent; every leaf index appears once.
+    std::set<int> leaves;
+    for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+      if (t.is_leaf(i)) leaves.insert(t.node(i).leaf_index);
+      if (static_cast<int>(i) != t.root())
+        EXPECT_GE(t.node(i).parent, 0) << "node " << i;
+    }
+    EXPECT_EQ(leaves.size(), n);
+    // Postorder covers all nodes, children before parents.
+    const std::vector<int> order = t.postorder();
+    EXPECT_EQ(order.size(), t.num_nodes());
+    std::vector<bool> seen(t.num_nodes(), false);
+    for (int id : order) {
+      const TreeNode& nd = t.node(static_cast<std::size_t>(id));
+      if (nd.left >= 0) {
+        EXPECT_TRUE(seen[static_cast<std::size_t>(nd.left)]);
+        EXPECT_TRUE(seen[static_cast<std::size_t>(nd.right)]);
+      }
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+    // leaves_under at root returns all original indices.
+    const std::vector<int> under = t.leaves_under(t.root());
+    EXPECT_EQ(under.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(under[i], static_cast<int>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeShapeTest,
+                         ::testing::Values(2, 3, 5, 8, 17, 40));
+
+// ---- Neighbor joining ---------------------------------------------------------
+
+TEST(NeighborJoining, RecoversAdditiveTreeTopology) {
+  // Additive tree: ((0,1),(2,3)) with internal edge. Distances:
+  // d(0,1)=2, d(2,3)=2, cross pairs = 1+3+1 = 5.
+  const auto d = matrix_from({{0.0},
+                              {2.0, 0.0},
+                              {5.0, 5.0, 0.0},
+                              {5.0, 5.0, 2.0, 0.0}});
+  const GuideTree t = GuideTree::neighbor_joining(d);
+  // First join must be a cherry: (0,1) or (2,3).
+  const TreeNode& first = t.node(4);
+  const std::set<int> joined{first.left, first.right};
+  EXPECT_TRUE((joined == std::set<int>{0, 1} ||
+               joined == std::set<int>{2, 3}));
+}
+
+TEST(NeighborJoining, BranchLengthsNonNegative) {
+  util::Rng rng(9);
+  const std::size_t n = 12;
+  util::SymmetricMatrix<double> d(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) d(i, j) = rng.uniform(0.1, 2.0);
+  const GuideTree t = GuideTree::neighbor_joining(d);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    EXPECT_GE(t.node(i).left_length, 0.0);
+    EXPECT_GE(t.node(i).right_length, 0.0);
+  }
+}
+
+// ---- leaf weights ---------------------------------------------------------------
+
+TEST(LeafWeights, UniformForBalancedTree) {
+  // Perfectly symmetric 4-leaf ultrametric tree -> equal weights.
+  const auto d = matrix_from({{0.0},
+                              {2.0, 0.0},
+                              {4.0, 4.0, 0.0},
+                              {4.0, 4.0, 2.0, 0.0}});
+  const GuideTree t = GuideTree::upgma(d);
+  const std::vector<double> w = t.leaf_weights();
+  ASSERT_EQ(w.size(), 4u);
+  for (double x : w) EXPECT_NEAR(x, 1.0, 1e-9);
+}
+
+TEST(LeafWeights, OutlierGetsHigherWeight) {
+  // Leaves 0,1,2 tightly clustered; leaf 3 distant -> 3 must be weighted up
+  // (CLUSTALW's point: downweight redundant near-duplicates).
+  const auto d = matrix_from({{0.0},
+                              {0.2, 0.0},
+                              {0.2, 0.2, 0.0},
+                              {3.0, 3.0, 3.0, 0.0}});
+  const GuideTree t = GuideTree::upgma(d);
+  const std::vector<double> w = t.leaf_weights();
+  EXPECT_GT(w[3], w[0]);
+  EXPECT_GT(w[3], w[1]);
+  EXPECT_GT(w[3], w[2]);
+  // Mean normalized to 1.
+  EXPECT_NEAR((w[0] + w[1] + w[2] + w[3]) / 4.0, 1.0, 1e-9);
+}
+
+TEST(LeafWeights, DegenerateZeroDistancesFallBackToUniform) {
+  util::SymmetricMatrix<double> d(5);  // all zeros
+  const GuideTree t = GuideTree::upgma(d);
+  const std::vector<double> w = t.leaf_weights();
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(LeafWeights, AlwaysStrictlyPositive) {
+  // Regression: NJ trees over near-degenerate distance matrices (tiny
+  // groups at saturated divergence) used to hand non-positive weights to
+  // Profile, which throws. Any tree's weights must be strictly positive.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.below(6);
+    util::SymmetricMatrix<double> d(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < i; ++j)
+        // Mix saturated (kimura cap) and tiny distances.
+        d(i, j) = rng.chance(0.5) ? 5.0 : rng.uniform(0.0, 0.05);
+    for (const GuideTree& t :
+         {GuideTree::upgma(d), GuideTree::neighbor_joining(d)}) {
+      for (const double w : t.leaf_weights())
+        EXPECT_GT(w, 0.0) << "trial " << trial << " n " << n;
+    }
+  }
+}
+
+TEST(LeafWeights, ThreeLeafSaturatedMatrix) {
+  // The exact shape that crashed the SABmark quality bench: 3 sequences,
+  // all pairwise distances at the Kimura saturation cap.
+  util::SymmetricMatrix<double> d(3);
+  d(0, 1) = d(0, 2) = d(1, 2) = 5.0;
+  const GuideTree t = GuideTree::neighbor_joining(d);
+  for (const double w : t.leaf_weights()) EXPECT_GT(w, 0.0);
+}
+
+// ---- newick -----------------------------------------------------------------------
+
+TEST(Newick, TwoLeafTree) {
+  const auto d = matrix_from({{0}, {4, 0}});
+  const GuideTree t = GuideTree::upgma(d);
+  const std::vector<std::string> names{"a", "b"};
+  const std::string nw = t.newick(names);
+  EXPECT_EQ(nw, "(a:2,b:2);");
+}
+
+TEST(Newick, BalancedStructure) {
+  const auto d = matrix_from({{0.0},
+                              {2.0, 0.0},
+                              {4.0, 4.0, 0.0},
+                              {4.0, 4.0, 2.0, 0.0}});
+  const GuideTree t = GuideTree::upgma(d);
+  const std::vector<std::string> names{"a", "b", "c", "d"};
+  const std::string nw = t.newick(names);
+  // Both cherries present regardless of join order.
+  EXPECT_NE(nw.find("(a:1,b:1)"), std::string::npos);
+  EXPECT_NE(nw.find("(c:1,d:1)"), std::string::npos);
+  EXPECT_EQ(nw.back(), ';');
+}
+
+TEST(Newick, WrongNameCountThrows) {
+  const auto d = matrix_from({{0}, {4, 0}});
+  const GuideTree t = GuideTree::upgma(d);
+  const std::vector<std::string> names{"only"};
+  EXPECT_THROW((void)t.newick(names), std::invalid_argument);
+}
+
+TEST(GuideTreeDeterminism, SameInputSameTree) {
+  util::Rng rng(13);
+  const std::size_t n = 15;
+  util::SymmetricMatrix<double> d(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) d(i, j) = rng.uniform(0.1, 2.0);
+  const GuideTree t1 = GuideTree::upgma(d);
+  const GuideTree t2 = GuideTree::upgma(d);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) names.push_back("s" + std::to_string(i));
+  EXPECT_EQ(t1.newick(names), t2.newick(names));
+}
+
+}  // namespace
+}  // namespace salign::msa

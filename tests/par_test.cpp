@@ -1,0 +1,707 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "msa/alignment.hpp"
+#include "par/cluster.hpp"
+#include "par/comm.hpp"
+#include "par/cost_model.hpp"
+#include "par/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace salign::par {
+namespace {
+
+// ---- serialization ---------------------------------------------------------------
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(123456);
+  w.u64(0xDEADBEEFCAFEBABEULL);
+  w.f64(3.14159);
+  w.str("hello");
+  const Bytes b = [&] {
+    ByteWriter copy = std::move(w);
+    return copy.take();
+  }();
+  ByteReader r(b);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.u64(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, UnderrunThrows) {
+  ByteWriter w;
+  w.u8(1);
+  const Bytes b = w.take();
+  ByteReader r(b);
+  (void)r.u8();
+  EXPECT_THROW((void)r.u32(), std::runtime_error);
+}
+
+TEST(Serialize, SequenceRoundTrip) {
+  const bio::Sequence s("seq-1", "MKVLATTWY");
+  ByteWriter w;
+  write_sequence(w, s);
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(read_sequence(r), s);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, SequenceVectorRoundTrip) {
+  std::vector<bio::Sequence> seqs{bio::Sequence("a", "ACD"),
+                                  bio::Sequence("b", ""),
+                                  bio::Sequence("c", "WWWW")};
+  ByteWriter w;
+  write_sequences(w, seqs);
+  const Bytes b = w.take();
+  ByteReader r(b);
+  const auto back = read_sequences(r);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(back[i], seqs[i]);
+}
+
+TEST(Serialize, AlignmentRoundTrip) {
+  const msa::Alignment a = msa::Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "AC-D"},
+                                                       {"b", "-CWD"}});
+  ByteWriter w;
+  write_alignment(w, a);
+  const Bytes b = w.take();
+  ByteReader r(b);
+  const msa::Alignment back = read_alignment(r);
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.row_text(0), "AC-D");
+  EXPECT_EQ(back.row_text(1), "-CWD");
+}
+
+TEST(Serialize, EmptyAlignmentRoundTrip) {
+  ByteWriter w;
+  write_alignment(w, msa::Alignment{});
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_TRUE(read_alignment(r).empty());
+}
+
+// ---- point-to-point --------------------------------------------------------------
+
+TEST(Comm, SendRecvBetweenTwoRanks) {
+  Cluster c(2);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      ByteWriter w;
+      w.str("ping");
+      comm.send(1, 5, w.take());
+      ByteReader r(comm.recv(1, 6));
+      EXPECT_EQ(r.str(), "pong");
+    } else {
+      ByteReader r(comm.recv(0, 5));
+      EXPECT_EQ(r.str(), "ping");
+      ByteWriter w;
+      w.str("pong");
+      comm.send(0, 6, w.take());
+    }
+  });
+}
+
+TEST(Comm, TagsKeepMessagesApart) {
+  Cluster c(2);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      ByteWriter w1;
+      w1.u32(111);
+      ByteWriter w2;
+      w2.u32(222);
+      comm.send(1, 1, w1.take());
+      comm.send(1, 2, w2.take());
+    } else {
+      // Receive in the opposite order of sending: tag matching must hold.
+      ByteReader r2(comm.recv(0, 2));
+      EXPECT_EQ(r2.u32(), 222u);
+      ByteReader r1(comm.recv(0, 1));
+      EXPECT_EQ(r1.u32(), 111u);
+    }
+  });
+}
+
+TEST(Comm, FifoPerTagAndSource) {
+  Cluster c(2);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint32_t i = 0; i < 50; ++i) {
+        ByteWriter w;
+        w.u32(i);
+        comm.send(1, 3, w.take());
+      }
+    } else {
+      for (std::uint32_t i = 0; i < 50; ++i) {
+        ByteReader r(comm.recv(0, 3));
+        EXPECT_EQ(r.u32(), i);
+      }
+    }
+  });
+}
+
+TEST(Comm, SelfSendWorks) {
+  Cluster c(1);
+  c.run([](Communicator& comm) {
+    ByteWriter w;
+    w.u32(9);
+    comm.send(0, 1, w.take());
+    ByteReader r(comm.recv(0, 1));
+    EXPECT_EQ(r.u32(), 9u);
+  });
+}
+
+TEST(Comm, NegativeTagRejected) {
+  Cluster c(1);
+  EXPECT_THROW(c.run([](Communicator& comm) { comm.send(0, -1, {}); }),
+               std::invalid_argument);
+}
+
+TEST(Comm, BadDestinationRejected) {
+  Cluster c(1);
+  EXPECT_THROW(c.run([](Communicator& comm) { comm.send(3, 1, {}); }),
+               std::out_of_range);
+}
+
+// ---- collectives -------------------------------------------------------------------
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, BroadcastDeliversRootPayload) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([](Communicator& comm) {
+    Bytes payload;
+    if (comm.rank() == 0) {
+      ByteWriter w;
+      w.str("from-root");
+      payload = w.take();
+    }
+    const Bytes got = comm.broadcast(0, std::move(payload));
+    ByteReader r(got);
+    EXPECT_EQ(r.str(), "from-root");
+  });
+}
+
+TEST_P(CollectiveTest, GatherCollectsByRank) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(comm.rank() * 10));
+    const std::vector<Bytes> all = comm.gather(0, w.take());
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+      for (int s = 0; s < p; ++s) {
+        ByteReader r(all[static_cast<std::size_t>(s)]);
+        EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(s * 10));
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ScatterDeliversPerRankPayload) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    std::vector<Bytes> per_dest;
+    if (comm.rank() == 0) {
+      for (int d = 0; d < p; ++d) {
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(d * 7 + 1));
+        per_dest.push_back(w.take());
+      }
+    }
+    const Bytes mine = comm.scatter(0, std::move(per_dest));
+    ByteReader r(mine);
+    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(comm.rank() * 7 + 1));
+  });
+}
+
+TEST_P(CollectiveTest, ScatterThenGatherRoundTrips) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    std::vector<Bytes> per_dest;
+    if (comm.rank() == 1 % p) {
+      for (int d = 0; d < p; ++d)
+        per_dest.push_back(Bytes(static_cast<std::size_t>(d + 1)));
+    }
+    const Bytes mine = comm.scatter(1 % p, std::move(per_dest));
+    const std::vector<Bytes> back = comm.gather(1 % p, mine);
+    if (comm.rank() == 1 % p) {
+      for (int s = 0; s < p; ++s)
+        EXPECT_EQ(back[static_cast<std::size_t>(s)].size(),
+                  static_cast<std::size_t>(s + 1));
+    }
+  });
+}
+
+TEST(Comm, ScatterRootNeedsOnePayloadPerRank) {
+  Cluster c(2);
+  EXPECT_THROW(c.run([](Communicator& comm) {
+                 std::vector<Bytes> wrong(1);  // size != p on the root
+                 (void)comm.scatter(0, std::move(wrong));
+               }),
+               std::invalid_argument);
+}
+
+TEST_P(CollectiveTest, AllGatherGivesEveryoneEverything) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(comm.rank() + 100));
+    const std::vector<Bytes> all = comm.all_gather(w.take());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      ByteReader r(all[static_cast<std::size_t>(s)]);
+      EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(s + 100));
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllToAllPersonalized) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    std::vector<Bytes> out(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(comm.rank() * 1000 + d));
+      out[static_cast<std::size_t>(d)] = w.take();
+    }
+    const std::vector<Bytes> in = comm.all_to_all(std::move(out));
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      ByteReader r(in[static_cast<std::size_t>(s)]);
+      EXPECT_EQ(r.u32(),
+                static_cast<std::uint32_t>(s * 1000 + comm.rank()));
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceSum) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    const double v = static_cast<double>(comm.rank() + 1);
+    const double sum = comm.reduce_sum(0, v);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(sum, p * (p + 1) / 2.0);
+    }
+    const double all = comm.all_reduce_sum(v);
+    EXPECT_DOUBLE_EQ(all, p * (p + 1) / 2.0);
+  });
+}
+
+TEST_P(CollectiveTest, BarrierSynchronizes) {
+  const int p = GetParam();
+  Cluster c(p);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  c.run([&](Communicator& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    if (phase1.load() != comm.size()) violated.store(true);
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(CollectiveTest, RepeatedCollectivesStaySequenced) {
+  const int p = GetParam();
+  Cluster c(p);
+  c.run([](Communicator& comm) {
+    for (std::uint32_t round = 0; round < 20; ++round) {
+      ByteWriter w;
+      w.u32(round);
+      const std::vector<Bytes> all = comm.all_gather(w.take());
+      for (const Bytes& b : all) {
+        ByteReader r(b);
+        ASSERT_EQ(r.u32(), round);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, CollectiveTest, ::testing::Values(1, 2, 3, 4, 8));
+
+// ---- cluster harness ------------------------------------------------------------------
+
+TEST(Cluster, ExceptionsPropagateAfterJoin) {
+  Cluster c(3);
+  EXPECT_THROW(c.run([](Communicator& comm) {
+    comm.barrier();
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 boom");
+  }),
+               std::runtime_error);
+}
+
+// ---- probes and nonblocking receives --------------------------------------------
+
+TEST(Comm, TryRecvReturnsNulloptThenPayload) {
+  Cluster c(2);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();  // rank 1 polls before this barrier releases the send
+      ByteWriter w;
+      w.u32(42);
+      comm.send(1, 3, w.take());
+    } else {
+      EXPECT_FALSE(comm.try_recv(0, 3).has_value());
+      comm.barrier();
+      // Poll until the buffered send lands (finite: sender has posted it).
+      std::optional<Bytes> got;
+      while (!(got = comm.try_recv(0, 3))) std::this_thread::yield();
+      ByteReader r(*std::move(got));
+      EXPECT_EQ(r.u32(), 42u);
+    }
+  });
+}
+
+TEST(Comm, TryRecvMatchesTagAndSourceOnly) {
+  Cluster c(3);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 1) comm.send(0, 5, Bytes(1));
+    if (comm.rank() == 2) comm.send(0, 6, Bytes(2));
+    if (comm.rank() == 0) {
+      const Bytes from2 = comm.recv(2, 6);
+      EXPECT_EQ(from2.size(), 2u);
+      EXPECT_FALSE(comm.try_recv(2, 5).has_value());  // wrong tag
+      EXPECT_FALSE(comm.try_recv(1, 6).has_value());  // wrong source
+      const std::optional<Bytes> from1 = comm.try_recv(1, 5);
+      ASSERT_TRUE(from1.has_value());
+      EXPECT_EQ(from1->size(), 1u);
+    }
+  });
+}
+
+TEST(Comm, ProbeReportsSizeWithoutConsuming) {
+  Cluster c(2);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 9, Bytes(77));
+    } else {
+      EXPECT_EQ(comm.probe(0, 9), 77u);        // blocking probe
+      EXPECT_EQ(comm.iprobe(0, 9), 77u);       // still queued
+      EXPECT_EQ(comm.recv(0, 9).size(), 77u);  // now consumed
+      EXPECT_FALSE(comm.iprobe(0, 9).has_value());
+    }
+  });
+}
+
+TEST(Comm, RecvAnyDrainsAllSourcesOnce) {
+  const int p = 5;
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<bool> seen(static_cast<std::size_t>(p), false);
+      for (int i = 1; i < p; ++i) {
+        auto [src, payload] = comm.recv_any(4);
+        ByteReader r(std::move(payload));
+        EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(src) * 10);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(src)]);
+        seen[static_cast<std::size_t>(src)] = true;
+      }
+      EXPECT_FALSE(comm.iprobe(1, 4).has_value());  // mailbox fully drained
+    } else {
+      ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(comm.rank()) * 10);
+      comm.send(0, 4, w.take());
+    }
+  });
+}
+
+TEST(Comm, RecvAnyStaysFifoPerSource) {
+  Cluster c(2);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        ByteWriter w;
+        w.u32(i);
+        comm.send(1, 2, w.take());
+      }
+    } else {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        auto [src, payload] = comm.recv_any(2);
+        EXPECT_EQ(src, 0);
+        ByteReader r(std::move(payload));
+        EXPECT_EQ(r.u32(), i);
+      }
+    }
+  });
+}
+
+TEST(Comm, ProbeRejectsNegativeTagAndBadSource) {
+  Cluster c(1);
+  c.run([](Communicator& comm) {
+    EXPECT_THROW((void)comm.probe(0, -1), std::invalid_argument);
+    EXPECT_THROW((void)comm.iprobe(7, 0), std::out_of_range);
+    EXPECT_THROW((void)comm.try_recv(-1, 0), std::out_of_range);
+  });
+}
+
+// ---- failure injection: a dead rank must abort the group, not hang it ----
+
+TEST(Cluster, DeadRankWakesPeerBlockedInRecvAny) {
+  Cluster c(2);
+  try {
+    c.run([](Communicator& comm) {
+      if (comm.rank() == 0) throw std::logic_error("rank 0 died");
+      (void)comm.recv_any(5);
+    });
+    FAIL() << "expected the dead rank's exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+}
+
+TEST(Cluster, DeadRankWakesPeerBlockedInProbe) {
+  Cluster c(2);
+  try {
+    c.run([](Communicator& comm) {
+      if (comm.rank() == 0) throw std::logic_error("rank 0 died");
+      (void)comm.probe(0, 5);
+    });
+    FAIL() << "expected the dead rank's exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+}
+
+TEST(Cluster, DeadRankWakesPeerBlockedInRecv) {
+  Cluster c(2);
+  try {
+    c.run([](Communicator& comm) {
+      if (comm.rank() == 0) throw std::logic_error("rank 0 died");
+      (void)comm.recv(0, 5);  // would block forever without group abort
+    });
+    FAIL() << "expected the dead rank's exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+}
+
+TEST(Cluster, DeadRankWakesPeersBlockedInBarrier) {
+  Cluster c(4);
+  try {
+    c.run([](Communicator& comm) {
+      if (comm.rank() == 3) throw std::logic_error("rank 3 died");
+      comm.barrier();
+    });
+    FAIL() << "expected the dead rank's exception";
+  } catch (const std::logic_error& e) {
+    // The root cause must be rethrown, not the collateral ClusterAborted
+    // (which is a runtime_error and would not match this handler).
+    EXPECT_STREQ(e.what(), "rank 3 died");
+  }
+}
+
+TEST(Cluster, DeadRankWakesPeersBlockedInCollectives) {
+  Cluster c(4);
+  try {
+    c.run([](Communicator& comm) {
+      if (comm.rank() == 2) throw std::logic_error("rank 2 died");
+      (void)comm.all_gather(Bytes(8));
+    });
+    FAIL() << "expected the dead rank's exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 2 died");
+  }
+}
+
+TEST(Cluster, AbortedRunDropsUndeliveredMessages) {
+  Cluster c(2);
+  EXPECT_THROW(c.run([](Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   ByteWriter w;
+                   w.str("stale");
+                   comm.send(1, 7, w.take());
+                   throw std::runtime_error("die after send");
+                 }
+                 (void)comm.recv(0, 99);  // never satisfied; aborted
+               }),
+               std::runtime_error);
+
+  // The undelivered tag-7 message must not leak into the next run.
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      ByteWriter w;
+      w.str("fresh");
+      comm.send(1, 7, w.take());
+    } else {
+      ByteReader r(comm.recv(0, 7));
+      EXPECT_EQ(r.str(), "fresh");
+    }
+  });
+}
+
+TEST(Cluster, BarrierStateResetsAfterAbortedRun) {
+  Cluster c(3);
+  EXPECT_THROW(c.run([](Communicator& comm) {
+                 if (comm.rank() == 0) throw std::runtime_error("boom");
+                 comm.barrier();
+               }),
+               std::runtime_error);
+  // Ranks 1 and 2 died inside the barrier leaving a partial arrival count;
+  // a fresh run must start from a clean barrier.
+  std::atomic<int> after{0};
+  c.run([&after](Communicator& comm) {
+    comm.barrier();
+    after.fetch_add(1, std::memory_order_relaxed);
+    comm.barrier();
+  });
+  EXPECT_EQ(after.load(), 3);
+}
+
+TEST(Cluster, AbortStressRandomizedFailurePoints) {
+  // A victim rank dies at a varying point of a collective-heavy program.
+  // Every trial must terminate (the per-test ctest timeout is the hang
+  // detector), rethrow the injected error, and leave the cluster reusable.
+  for (int trial = 0; trial < 24; ++trial) {
+    const int p = 2 + trial % 3;
+    Cluster c(p);
+    const int victim = trial % p;
+    const int die_at = trial % 6;
+    try {
+      c.run([&](Communicator& comm) {
+        for (int step = 0; step < 6; ++step) {
+          if (comm.rank() == victim && step == die_at)
+            throw std::logic_error("injected");
+          switch (step % 4) {
+            case 0: comm.barrier(); break;
+            case 1: (void)comm.all_gather(Bytes(16)); break;
+            case 2: (void)comm.all_reduce_sum(1.0); break;
+            default:
+              (void)comm.broadcast(step % p, Bytes(comm.rank() == step % p
+                                                       ? 8
+                                                       : 0));
+          }
+        }
+      });
+      FAIL() << "trial " << trial << ": expected the injected exception";
+    } catch (const std::logic_error& e) {
+      EXPECT_STREQ(e.what(), "injected");
+    }
+    c.run([p](Communicator& comm) {
+      EXPECT_DOUBLE_EQ(comm.all_reduce_sum(1.0), static_cast<double>(p));
+    });
+  }
+}
+
+TEST(Cluster, TrafficAccounting) {
+  Cluster c(2);
+  c.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, Bytes(100));
+    } else {
+      (void)comm.recv(0, 1);
+    }
+  });
+  const TrafficStats t = c.traffic();
+  EXPECT_EQ(t.bytes_sent_per_rank[0], 100u);
+  EXPECT_EQ(t.bytes_sent_per_rank[1], 0u);
+  EXPECT_EQ(t.total_bytes(), 100u);
+  EXPECT_EQ(t.total_messages(), 1u);
+}
+
+TEST(Cluster, InvalidSizeThrows) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+}
+
+TEST(Cluster, StressRandomizedExchange) {
+  // Randomized payload sizes across several rounds, verified checksums.
+  const int p = 4;
+  Cluster c(p);
+  c.run([p](Communicator& comm) {
+    util::Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    for (int round = 0; round < 10; ++round) {
+      std::vector<Bytes> out(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) {
+        const std::size_t len = rng.below(2000);
+        ByteWriter w;
+        w.u64(len);
+        Bytes body(len);
+        for (auto& x : body)
+          x = static_cast<std::uint8_t>((comm.rank() + d + round) & 0xFF);
+        w.bytes(body);
+        out[static_cast<std::size_t>(d)] = w.take();
+      }
+      const std::vector<Bytes> in = comm.all_to_all(std::move(out));
+      for (int s = 0; s < p; ++s) {
+        ByteReader r(in[static_cast<std::size_t>(s)]);
+        const std::uint64_t len = r.u64();
+        const Bytes body = r.bytes();
+        ASSERT_EQ(body.size(), len);
+        for (std::uint8_t x : body)
+          ASSERT_EQ(x, static_cast<std::uint8_t>((s + comm.rank() + round) &
+                                                 0xFF));
+      }
+    }
+  });
+}
+
+// ---- parallel_for -------------------------------------------------------------------
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroItemsNoCall) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> hits(10, 0);
+  parallel_for(10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  }, 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ---- cost model -----------------------------------------------------------------------
+
+TEST(CostModel, PointToPointLatencyPlusBandwidth) {
+  ClusterCostModel m;
+  m.latency_seconds = 1e-3;
+  m.bytes_per_second = 1e6;
+  EXPECT_DOUBLE_EQ(m.p2p(0), 1e-3);
+  EXPECT_DOUBLE_EQ(m.p2p(1000000), 1e-3 + 1.0);
+}
+
+TEST(CostModel, CollectivesScaleWithP) {
+  const ClusterCostModel m;
+  EXPECT_GT(m.broadcast(1000, 16), m.broadcast(1000, 4));
+  EXPECT_GT(m.gather(1000, 16), m.gather(1000, 4));
+  EXPECT_DOUBLE_EQ(m.all_to_all(1000, 1), 0.0);
+}
+
+TEST(CostModel, AllToAllSplitsPayload) {
+  ClusterCostModel m;
+  m.latency_seconds = 0.0;
+  m.bytes_per_second = 1e6;
+  // p-1 rounds of (bytes / (p-1)) each => total = bytes / bandwidth.
+  EXPECT_NEAR(m.all_to_all(1000000, 5), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace salign::par

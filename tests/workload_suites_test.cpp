@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "msa/clustalw_like.hpp"
+#include "msa/muscle_like.hpp"
+#include "msa/scoring.hpp"
+#include "workload/balibase.hpp"
+#include "workload/evolver.hpp"
+#include "workload/sabmark.hpp"
+
+namespace salign::workload {
+namespace {
+
+// ---- evolve_along (guided trees) -------------------------------------------
+
+EvolveNode leaf(double branch) {
+  EvolveNode n;
+  n.branch = branch;
+  return n;
+}
+
+TEST(EvolveAlong, LeafCountMatchesSpec) {
+  EvolveNode root;
+  root.children.push_back(leaf(0.1));
+  EvolveNode sub;
+  sub.branch = 0.2;
+  sub.children.push_back(leaf(0.1));
+  sub.children.push_back(leaf(0.1));
+  root.children.push_back(sub);
+  EXPECT_EQ(root.leaf_count(), 3u);
+
+  EvolveParams ep;
+  ep.root_length = 50;
+  ep.seed = 1;
+  const Family fam = evolve_along(root, ep);
+  EXPECT_EQ(fam.sequences.size(), 3u);
+  EXPECT_EQ(fam.reference.num_rows(), 3u);
+  fam.reference.validate();
+}
+
+TEST(EvolveAlong, SingleLeafSpecIsRootCopy) {
+  const EvolveNode root;  // no children: one leaf, zero branch
+  EvolveParams ep;
+  ep.root_length = 40;
+  ep.seed = 2;
+  const Family fam = evolve_along(root, ep);
+  ASSERT_EQ(fam.sequences.size(), 1u);
+  EXPECT_EQ(fam.sequences[0].size(), 40u);  // zero distance: no indels
+}
+
+TEST(EvolveAlong, RejectsNegativeBranch) {
+  EvolveNode root;
+  root.children.push_back(leaf(-0.5));
+  root.children.push_back(leaf(0.5));
+  EvolveParams ep;
+  ep.root_length = 30;
+  EXPECT_THROW((void)evolve_along(root, ep), std::invalid_argument);
+}
+
+TEST(EvolveAlong, RejectsZeroRootLength) {
+  EvolveNode root;
+  EvolveParams ep;
+  ep.root_length = 0;
+  EXPECT_THROW((void)evolve_along(root, ep), std::invalid_argument);
+}
+
+TEST(EvolveAlong, DeterministicInSeed) {
+  EvolveNode root;
+  root.children.push_back(leaf(0.3));
+  root.children.push_back(leaf(0.3));
+  EvolveParams ep;
+  ep.root_length = 60;
+  ep.seed = 3;
+  const Family a = evolve_along(root, ep);
+  const Family b = evolve_along(root, ep);
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (std::size_t i = 0; i < a.sequences.size(); ++i)
+    EXPECT_EQ(a.sequences[i], b.sequences[i]);
+}
+
+TEST(EvolveAlong, ZeroBranchLeavesAreIdenticalToEachOther) {
+  EvolveNode root;
+  root.children.push_back(leaf(0.0));
+  root.children.push_back(leaf(0.0));
+  EvolveParams ep;
+  ep.root_length = 50;
+  ep.seed = 4;
+  const Family fam = evolve_along(root, ep);
+  EXPECT_EQ(fam.sequences[0].codes().size(), fam.sequences[1].codes().size());
+  EXPECT_TRUE(std::equal(fam.sequences[0].codes().begin(),
+                         fam.sequences[0].codes().end(),
+                         fam.sequences[1].codes().begin()));
+}
+
+TEST(EvolveAlong, DeepBranchesDivergeMoreThanShallow) {
+  auto identity = [](const Family& fam) {
+    return mean_pairwise_identity(fam.reference);
+  };
+  EvolveNode shallow;
+  shallow.children.push_back(leaf(0.05));
+  shallow.children.push_back(leaf(0.05));
+  EvolveNode deep;
+  deep.children.push_back(leaf(1.5));
+  deep.children.push_back(leaf(1.5));
+  EvolveParams ep;
+  ep.root_length = 120;
+  ep.seed = 5;
+  EXPECT_GT(identity(evolve_along(shallow, ep)),
+            identity(evolve_along(deep, ep)) + 0.3);
+}
+
+TEST(EvolveAlong, HeadExtensionAddsUniqueLeadingColumns) {
+  EvolveNode root;
+  EvolveNode decorated = leaf(0.1);
+  decorated.head_extension = 25;
+  root.children.push_back(decorated);
+  root.children.push_back(leaf(0.1));
+  root.children.push_back(leaf(0.1));
+  EvolveParams ep;
+  ep.root_length = 60;
+  ep.indel_rate = 0.0;  // isolate the decoration
+  ep.seed = 6;
+  const Family fam = evolve_along(root, ep);
+  // Leaf 0 is ~25 residues longer than the others.
+  EXPECT_GE(fam.sequences[0].size(), fam.sequences[1].size() + 25);
+  // The first reference columns belong to leaf 0 alone.
+  const msa::Alignment& ref = fam.reference;
+  std::size_t leading_unique = 0;
+  for (std::size_t c = 0; c < ref.num_cols(); ++c) {
+    if (!ref.is_gap(0, c) && ref.is_gap(1, c) && ref.is_gap(2, c))
+      ++leading_unique;
+    else
+      break;
+  }
+  EXPECT_EQ(leading_unique, 25u);
+}
+
+TEST(EvolveAlong, TailExtensionAddsUniqueTrailingColumns) {
+  EvolveNode root;
+  EvolveNode decorated = leaf(0.1);
+  decorated.tail_extension = 30;
+  root.children.push_back(decorated);
+  root.children.push_back(leaf(0.1));
+  EvolveParams ep;
+  ep.root_length = 60;
+  ep.indel_rate = 0.0;
+  ep.seed = 7;
+  const Family fam = evolve_along(root, ep);
+  const msa::Alignment& ref = fam.reference;
+  std::size_t trailing_unique = 0;
+  for (std::size_t c = ref.num_cols(); c-- > 0;) {
+    if (!ref.is_gap(0, c) && ref.is_gap(1, c))
+      ++trailing_unique;
+    else
+      break;
+  }
+  EXPECT_EQ(trailing_unique, 30u);
+}
+
+TEST(EvolveAlong, InternalInsertionLandsInside) {
+  EvolveNode root;
+  EvolveNode decorated = leaf(0.1);
+  decorated.internal_insertion = 40;
+  root.children.push_back(decorated);
+  root.children.push_back(leaf(0.1));
+  EvolveParams ep;
+  ep.root_length = 90;
+  ep.indel_rate = 0.0;
+  ep.seed = 8;
+  const Family fam = evolve_along(root, ep);
+  EXPECT_GE(fam.sequences[0].size(), fam.sequences[1].size() + 40);
+  // The run of leaf-0-only columns sits strictly inside the alignment.
+  const msa::Alignment& ref = fam.reference;
+  EXPECT_FALSE(ref.is_gap(1, 0));
+  EXPECT_FALSE(ref.is_gap(1, ref.num_cols() - 1));
+}
+
+// ---- core_block_mask --------------------------------------------------------
+
+TEST(CoreBlockMask, FullAlignmentIsAllCore) {
+  const auto ref = msa::Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{
+          {"a", "MKVLATTW"}, {"b", "MKVLATTW"}});
+  const auto mask = core_block_mask(ref, 5);
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 8);
+}
+
+TEST(CoreBlockMask, GapColumnBreaksRun) {
+  const auto ref = msa::Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{
+          {"a", "MKVLA-TTWYG"}, {"b", "MKVLAATTWYG"}});
+  // Runs: 5 full columns, then gap, then 5 full columns -> both kept at
+  // min_run 5, none kept at min_run 6.
+  const auto mask5 = core_block_mask(ref, 5);
+  EXPECT_EQ(std::count(mask5.begin(), mask5.end(), true), 10);
+  EXPECT_FALSE(mask5[5]);
+  const auto mask6 = core_block_mask(ref, 6);
+  EXPECT_EQ(std::count(mask6.begin(), mask6.end(), true), 0);
+}
+
+TEST(CoreBlockMask, MaskedScoresIgnoreNonCoreColumns) {
+  // Reference column 5 is the only non-core column (c is gapped there).
+  // The test alignment reproduces every core column but splits the (a, b)
+  // pair of column 5, so masked Q is exactly 1 while unmasked Q is not.
+  const auto ref = msa::Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{
+          {"a", "MKVLATTWYGG"}, {"b", "MKVLATTWYGG"}, {"c", "MKVLA-TWYGG"}});
+  const auto test = msa::Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "MKVLAT-TWYGG"},
+                                                       {"b", "MKVLA-TTWYGG"},
+                                                       {"c", "MKVLA--TWYGG"}});
+  const auto mask = core_block_mask(ref, 4);
+  EXPECT_LT(msa::q_score(test, ref), 1.0);
+  EXPECT_DOUBLE_EQ(msa::q_score(test, ref, mask), 1.0);
+  EXPECT_GT(msa::q_score(test, ref, mask), msa::q_score(test, ref));
+}
+
+TEST(CoreBlockMask, MaskSizeMismatchThrows) {
+  const auto ref = msa::Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "MKVL"},
+                                                       {"b", "MKVL"}});
+  const std::vector<bool> bad(3, true);
+  EXPECT_THROW((void)msa::q_score(ref, ref, bad), std::invalid_argument);
+  EXPECT_THROW((void)msa::tc_score(ref, ref, bad), std::invalid_argument);
+}
+
+TEST(CoreBlockMask, ReferenceVsItselfIsPerfectUnderAnyMask) {
+  BalibaseParams bp;
+  bp.cases_per_category = 1;
+  const auto cases = balibase_cases(bp);
+  for (const auto& c : cases) {
+    EXPECT_DOUBLE_EQ(msa::q_score(c.reference, c.reference, c.core_columns),
+                     1.0)
+        << c.name;
+    EXPECT_DOUBLE_EQ(msa::tc_score(c.reference, c.reference, c.core_columns),
+                     1.0)
+        << c.name;
+  }
+}
+
+// ---- balibase_cases ---------------------------------------------------------
+
+TEST(Balibase, GeneratesAllCategories) {
+  BalibaseParams p;
+  p.cases_per_category = 2;
+  const auto cases = balibase_cases(p);
+  EXPECT_EQ(cases.size(), 10u);
+  std::set<BalibaseCategory> seen;
+  for (const auto& c : cases) seen.insert(c.category);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Balibase, CasesAreWellFormed) {
+  BalibaseParams p;
+  p.cases_per_category = 2;
+  for (const auto& c : balibase_cases(p)) {
+    EXPECT_GE(c.sequences.size(), p.min_sequences) << c.name;
+    EXPECT_LE(c.sequences.size(), p.max_sequences) << c.name;
+    EXPECT_EQ(c.reference.num_rows(), c.sequences.size()) << c.name;
+    EXPECT_EQ(c.core_columns.size(), c.reference.num_cols()) << c.name;
+    c.reference.validate();
+    // Reference degaps to the sequences.
+    for (std::size_t i = 0; i < c.sequences.size(); ++i)
+      EXPECT_EQ(c.reference.degapped(i), c.sequences[i]) << c.name;
+  }
+}
+
+TEST(Balibase, DeterministicInSeed) {
+  BalibaseParams p;
+  p.cases_per_category = 1;
+  const auto a = balibase_cases(p);
+  const auto b = balibase_cases(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].sequences.size(), b[i].sequences.size());
+    for (std::size_t s = 0; s < a[i].sequences.size(); ++s)
+      EXPECT_EQ(a[i].sequences[s], b[i].sequences[s]);
+  }
+}
+
+TEST(Balibase, ExtensionCasesHaveLengthOutliers) {
+  BalibaseParams p;
+  p.cases_per_category = 2;
+  for (const auto& c : balibase_cases(p)) {
+    if (c.category != BalibaseCategory::Extensions) continue;
+    std::size_t lo = SIZE_MAX;
+    std::size_t hi = 0;
+    for (const auto& s : c.sequences) {
+      lo = std::min(lo, s.size());
+      hi = std::max(hi, s.size());
+    }
+    const auto decoration = static_cast<std::size_t>(
+        p.decoration_fraction * static_cast<double>(p.root_length));
+    EXPECT_GE(hi, lo + decoration / 2) << c.name;
+  }
+}
+
+TEST(Balibase, SubfamilyCasesHaveCoreBlocks) {
+  // Even with deep between-family branches, conserved stretches inside the
+  // subfamilies must leave some full-occupancy core columns at min_run 3.
+  BalibaseParams p;
+  p.cases_per_category = 1;
+  p.min_divergence = 0.2;
+  p.max_divergence = 0.2;
+  p.core_min_run = 3;
+  for (const auto& c : balibase_cases(p)) {
+    const auto cores = std::count(c.core_columns.begin(),
+                                  c.core_columns.end(), true);
+    EXPECT_GT(cores, 0) << c.name;
+  }
+}
+
+TEST(Balibase, RejectsBadParams) {
+  BalibaseParams p;
+  p.cases_per_category = 0;
+  EXPECT_THROW((void)balibase_cases(p), std::invalid_argument);
+  p = BalibaseParams{};
+  p.min_sequences = 2;
+  EXPECT_THROW((void)balibase_cases(p), std::invalid_argument);
+}
+
+TEST(Balibase, CategoryNames) {
+  EXPECT_EQ(to_string(BalibaseCategory::Equidistant), "RV1-like equidistant");
+  EXPECT_EQ(to_string(BalibaseCategory::Insertions), "RV5-like insertions");
+}
+
+// ---- sabmark_groups ---------------------------------------------------------
+
+TEST(Sabmark, GeneratesBothTiers) {
+  SabmarkParams p;
+  p.groups_per_tier = 3;
+  const auto groups = sabmark_groups(p);
+  EXPECT_EQ(groups.size(), 6u);
+  std::size_t twilight = 0;
+  for (const auto& g : groups)
+    if (g.tier == SabmarkTier::Twilight) ++twilight;
+  EXPECT_EQ(twilight, 3u);
+}
+
+TEST(Sabmark, GroupsAreWellFormed) {
+  SabmarkParams p;
+  p.groups_per_tier = 3;
+  for (const auto& g : sabmark_groups(p)) {
+    EXPECT_GE(g.sequences.size(), p.min_sequences) << g.name;
+    EXPECT_LE(g.sequences.size(), p.max_sequences) << g.name;
+    g.reference.validate();
+    for (std::size_t i = 0; i < g.sequences.size(); ++i)
+      EXPECT_EQ(g.reference.degapped(i), g.sequences[i]) << g.name;
+  }
+}
+
+TEST(Sabmark, TwilightIsLessConservedThanSuperfamily) {
+  SabmarkParams p;
+  p.groups_per_tier = 4;
+  double super_total = 0.0;
+  double twi_total = 0.0;
+  for (const auto& g : sabmark_groups(p)) {
+    const double identity = mean_pairwise_identity(g.reference);
+    if (g.tier == SabmarkTier::Superfamily)
+      super_total += identity;
+    else
+      twi_total += identity;
+  }
+  EXPECT_GT(super_total / 4.0, twi_total / 4.0);
+}
+
+TEST(Sabmark, TwilightSitsNearTheTwilightZone) {
+  SabmarkParams p;
+  p.groups_per_tier = 4;
+  for (const auto& g : sabmark_groups(p)) {
+    if (g.tier != SabmarkTier::Twilight) continue;
+    // The twilight zone: identity comparable to what unrelated sequences
+    // achieve by chance (<~0.3 for proteins).
+    EXPECT_LT(mean_pairwise_identity(g.reference), 0.40) << g.name;
+  }
+}
+
+TEST(Sabmark, RejectsBadParams) {
+  SabmarkParams p;
+  p.groups_per_tier = 0;
+  EXPECT_THROW((void)sabmark_groups(p), std::invalid_argument);
+  p = SabmarkParams{};
+  p.min_sequences = 1;
+  EXPECT_THROW((void)sabmark_groups(p), std::invalid_argument);
+  p = SabmarkParams{};
+  p.max_length = p.min_length - 1;
+  EXPECT_THROW((void)sabmark_groups(p), std::invalid_argument);
+}
+
+TEST(Sabmark, AllShippedAlignersSurviveTwilightGroups) {
+  // Regression: ClustalW's NJ weighting used to produce non-positive
+  // sequence weights on tiny saturated-divergence groups and aborted the
+  // quality bench. Every shipped aligner must handle the whole suite.
+  SabmarkParams p;
+  p.groups_per_tier = 3;
+  p.max_sequences = 5;
+  p.max_length = 160;
+  const auto groups = sabmark_groups(p);
+  for (const auto& g : groups) {
+    EXPECT_NO_THROW({
+      const msa::Alignment a = msa::ClustalWAligner().align(g.sequences);
+      a.validate();
+    }) << g.name;
+    EXPECT_NO_THROW({
+      const msa::Alignment a = msa::MuscleAligner().align(g.sequences);
+      a.validate();
+    }) << g.name;
+  }
+}
+
+TEST(Sabmark, MeanIdentityOfIdenticalRowsIsOne) {
+  const auto ref = msa::Alignment::from_texts(
+      std::vector<std::pair<std::string, std::string>>{{"a", "MKVL"},
+                                                       {"b", "MKVL"}});
+  EXPECT_DOUBLE_EQ(mean_pairwise_identity(ref), 1.0);
+}
+
+}  // namespace
+}  // namespace salign::workload

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "kmer/kmer_rank.hpp"
+#include "msa/scoring.hpp"
+#include "util/stats.hpp"
+#include "workload/evolver.hpp"
+#include "workload/genome.hpp"
+#include "workload/prefab.hpp"
+#include "workload/rose.hpp"
+
+namespace salign::workload {
+namespace {
+
+// ---- evolver ----------------------------------------------------------------------
+
+TEST(Evolver, ProducesRequestedCount) {
+  EvolveParams ep;
+  ep.num_sequences = 17;
+  ep.root_length = 50;
+  const Family fam = evolve_family(ep);
+  EXPECT_EQ(fam.sequences.size(), 17u);
+  for (const auto& s : fam.sequences) EXPECT_FALSE(s.empty());
+}
+
+TEST(Evolver, UniqueIdsWithPrefix) {
+  EvolveParams ep;
+  ep.num_sequences = 10;
+  ep.id_prefix = "fam_";
+  const Family fam = evolve_family(ep);
+  std::set<std::string> ids;
+  for (const auto& s : fam.sequences) {
+    EXPECT_EQ(s.id().rfind("fam_", 0), 0u);
+    ids.insert(s.id());
+  }
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(Evolver, DeterministicInSeed) {
+  EvolveParams ep;
+  ep.num_sequences = 8;
+  ep.seed = 1234;
+  const Family a = evolve_family(ep);
+  const Family b = evolve_family(ep);
+  for (std::size_t i = 0; i < a.sequences.size(); ++i)
+    EXPECT_EQ(a.sequences[i], b.sequences[i]);
+}
+
+TEST(Evolver, DifferentSeedsDiffer) {
+  EvolveParams ep;
+  ep.num_sequences = 4;
+  ep.seed = 1;
+  const Family a = evolve_family(ep);
+  ep.seed = 2;
+  const Family b = evolve_family(ep);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.sequences.size(); ++i)
+    if (!(a.sequences[i] == b.sequences[i])) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Evolver, ReferenceRowsDegapToSequences) {
+  EvolveParams ep;
+  ep.num_sequences = 12;
+  ep.root_length = 70;
+  ep.mean_branch_distance = 0.5;
+  const Family fam = evolve_family(ep);
+  ASSERT_EQ(fam.reference.num_rows(), 12u);
+  fam.reference.validate();
+  for (std::size_t i = 0; i < fam.sequences.size(); ++i)
+    EXPECT_EQ(fam.reference.degapped(i), fam.sequences[i]);
+}
+
+TEST(Evolver, ReferenceHasNoAllGapColumns) {
+  EvolveParams ep;
+  ep.num_sequences = 10;
+  ep.mean_branch_distance = 0.6;
+  Family fam = evolve_family(ep);
+  EXPECT_EQ(fam.reference.strip_all_gap_columns(), 0u);
+}
+
+TEST(Evolver, ReferenceSelfQIsOne) {
+  EvolveParams ep;
+  ep.num_sequences = 9;
+  ep.mean_branch_distance = 0.7;
+  const Family fam = evolve_family(ep);
+  EXPECT_DOUBLE_EQ(msa::q_score(fam.reference, fam.reference), 1.0);
+}
+
+TEST(Evolver, NoReferenceWhenDisabled) {
+  EvolveParams ep;
+  ep.record_reference = false;
+  const Family fam = evolve_family(ep);
+  EXPECT_TRUE(fam.reference.empty());
+}
+
+TEST(Evolver, LowDivergenceKeepsSequencesSimilar) {
+  EvolveParams low;
+  low.num_sequences = 6;
+  low.root_length = 100;
+  low.mean_branch_distance = 0.02;
+  low.seed = 5;
+  const Family fam = evolve_family(low);
+  // Identical-length check is too strict (indels), but lengths must stay
+  // close to the root length at such low divergence.
+  for (const auto& s : fam.sequences) {
+    EXPECT_GT(s.size(), 80u);
+    EXPECT_LT(s.size(), 120u);
+  }
+}
+
+TEST(Evolver, DivergenceIncreasesKmerDistance) {
+  auto mean_offdiag = [](const util::SymmetricMatrix<double>& d) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < d.size(); ++i)
+      for (std::size_t j = 0; j < i; ++j) {
+        sum += d(i, j);
+        ++count;
+      }
+    return sum / static_cast<double>(count);
+  };
+  EvolveParams low;
+  low.num_sequences = 10;
+  low.mean_branch_distance = 0.05;
+  low.seed = 6;
+  EvolveParams high = low;
+  high.mean_branch_distance = 1.2;
+  const auto dl = kmer::distance_matrix(evolve_family(low).sequences, {});
+  const auto dh = kmer::distance_matrix(evolve_family(high).sequences, {});
+  EXPECT_LT(mean_offdiag(dl), mean_offdiag(dh));
+}
+
+TEST(Evolver, InvalidParamsThrow) {
+  EvolveParams ep;
+  ep.num_sequences = 0;
+  EXPECT_THROW((void)evolve_family(ep), std::invalid_argument);
+  ep.num_sequences = 2;
+  ep.root_length = 0;
+  EXPECT_THROW((void)evolve_family(ep), std::invalid_argument);
+}
+
+// ---- rose ----------------------------------------------------------------------------
+
+TEST(Rose, MatchesPaperSetupShape) {
+  const auto seqs = rose_sequences(
+      {.num_sequences = 200, .average_length = 300, .relatedness = 800,
+       .seed = 1});
+  EXPECT_EQ(seqs.size(), 200u);
+  util::RunningStats lengths;
+  for (const auto& s : seqs) lengths.add(static_cast<double>(s.size()));
+  // Mean length near the requested 300 (indels jitter it).
+  EXPECT_NEAR(lengths.mean(), 300.0, 60.0);
+}
+
+TEST(Rose, RelatednessSpreadsRanks) {
+  // The paper's Fig. 3 shows a broad rank distribution for relatedness 800;
+  // near-zero relatedness concentrates ranks instead.
+  const auto diverse = rose_sequences(
+      {.num_sequences = 80, .average_length = 60, .relatedness = 800,
+       .seed = 2});
+  const auto tight = rose_sequences(
+      {.num_sequences = 80, .average_length = 60, .relatedness = 30,
+       .seed = 2});
+  const auto rd = util::summarize(kmer::centralized_ranks(diverse, {}));
+  const auto rt = util::summarize(kmer::centralized_ranks(tight, {}));
+  EXPECT_GT(rd.stddev(), rt.stddev());
+  EXPECT_GT(rd.mean(), rt.mean());  // more divergent = larger k-mer distance
+}
+
+// ---- genome ----------------------------------------------------------------------------
+
+TEST(Genome, PoolShapeMatchesParams) {
+  GenomeParams gp;
+  gp.num_families = 10;
+  gp.mean_family_size = 5.0;
+  gp.num_orphans = 15;
+  gp.mean_length = 100;
+  const GenomeSimulator sim(gp);
+  EXPECT_GE(sim.pool().size(), 10u * 2 + 15u);
+  util::RunningStats lengths;
+  for (const auto& s : sim.pool()) lengths.add(static_cast<double>(s.size()));
+  EXPECT_NEAR(lengths.mean(), 100.0, 40.0);
+}
+
+TEST(Genome, SampleIsDistinctAndDeterministic) {
+  GenomeParams gp;
+  gp.num_families = 8;
+  gp.num_orphans = 10;
+  gp.mean_length = 60;
+  const GenomeSimulator sim(gp);
+  const auto s1 = sim.sample(20, 3);
+  const auto s2 = sim.sample(20, 3);
+  ASSERT_EQ(s1.size(), 20u);
+  std::set<std::string> ids;
+  for (const auto& s : s1) ids.insert(s.id());
+  EXPECT_EQ(ids.size(), 20u);
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1[i], s2[i]);
+  const auto s3 = sim.sample(20, 4);
+  bool differs = false;
+  for (std::size_t i = 0; i < s1.size(); ++i)
+    if (!(s1[i] == s3[i])) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Genome, OversampleThrows) {
+  GenomeParams gp;
+  gp.num_families = 2;
+  gp.num_orphans = 2;
+  gp.mean_length = 50;
+  const GenomeSimulator sim(gp);
+  EXPECT_THROW((void)sim.sample(sim.pool().size() + 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Genome, FamiliesShareIdPrefix) {
+  GenomeParams gp;
+  gp.num_families = 3;
+  gp.num_orphans = 1;
+  gp.mean_length = 50;
+  const GenomeSimulator sim(gp);
+  std::size_t fam0 = 0;
+  for (const auto& s : sim.pool())
+    if (s.id().rfind("MA_fam0_", 0) == 0) ++fam0;
+  EXPECT_GE(fam0, 2u);  // families have at least 2 members
+}
+
+// ---- prefab -------------------------------------------------------------------------------
+
+TEST(Prefab, CaseShapesWithinBounds) {
+  PrefabParams pp;
+  pp.num_cases = 6;
+  const auto cases = prefab_cases(pp);
+  ASSERT_EQ(cases.size(), 6u);
+  for (const auto& c : cases) {
+    EXPECT_GE(c.sequences.size(), pp.min_sequences);
+    EXPECT_LE(c.sequences.size(), pp.max_sequences);
+    EXPECT_EQ(c.reference.num_rows(), c.sequences.size());
+    EXPECT_DOUBLE_EQ(msa::q_score(c.reference, c.reference), 1.0);
+  }
+}
+
+TEST(Prefab, DivergenceLadderIsMonotone) {
+  PrefabParams pp;
+  pp.num_cases = 5;
+  const auto cases = prefab_cases(pp);
+  for (std::size_t i = 1; i < cases.size(); ++i)
+    EXPECT_GT(cases[i].divergence, cases[i - 1].divergence);
+  EXPECT_DOUBLE_EQ(cases.front().divergence, pp.min_divergence);
+  EXPECT_DOUBLE_EQ(cases.back().divergence, pp.max_divergence);
+}
+
+TEST(Prefab, DeterministicInSeed) {
+  PrefabParams pp;
+  pp.num_cases = 3;
+  const auto a = prefab_cases(pp);
+  const auto b = prefab_cases(pp);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].sequences.size(), b[i].sequences.size());
+    for (std::size_t s = 0; s < a[i].sequences.size(); ++s)
+      EXPECT_EQ(a[i].sequences[s], b[i].sequences[s]);
+  }
+}
+
+TEST(Prefab, ReferencesDegapToSequences) {
+  PrefabParams pp;
+  pp.num_cases = 2;
+  const auto cases = prefab_cases(pp);
+  for (const auto& c : cases)
+    for (std::size_t i = 0; i < c.sequences.size(); ++i)
+      EXPECT_EQ(c.reference.degapped(i), c.sequences[i]);
+}
+
+}  // namespace
+}  // namespace salign::workload
