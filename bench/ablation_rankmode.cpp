@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "core/sample_align_d.hpp"
 #include "msa/scoring.hpp"
+#include "util/string_util.hpp"
 #include "util/table.hpp"
 #include "workload/rose.hpp"
 
@@ -40,11 +41,15 @@ std::vector<Sequence> diverse_input(std::size_t n, std::size_t families,
   }
   std::vector<Sequence> out;
   for (std::size_t i = 0; i < n / families; ++i)
-    for (std::size_t f = 0; f < families; ++f)
-      out.emplace_back("f" + std::to_string(f) + "_" + std::to_string(i),
+    for (std::size_t f = 0; f < families; ++f) {
+      std::string name = salign::util::indexed_name("f", f);
+      name += '_';
+      name += std::to_string(i);
+      out.emplace_back(std::move(name),
                        std::vector<std::uint8_t>(fams[f][i].codes().begin(),
                                                  fams[f][i].codes().end()),
                        salign::bio::AlphabetKind::AminoAcid);
+    }
   return out;
 }
 

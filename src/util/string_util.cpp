@@ -33,4 +33,10 @@ std::string to_upper(std::string s) {
   return s;
 }
 
+std::string indexed_name(std::string_view prefix, std::size_t index) {
+  std::string s(prefix);
+  s += std::to_string(index);
+  return s;
+}
+
 }  // namespace salign::util

@@ -18,4 +18,11 @@ namespace salign::util {
 /// Uppercases ASCII letters in place and returns the argument.
 [[nodiscard]] std::string to_upper(std::string s);
 
+/// Returns `prefix` + decimal `index` ("s", 7 -> "s7"). Built with append
+/// rather than `prefix + std::to_string(i)`: GCC 12's -Wrestrict false
+/// positive (PR105651) fires on the char*+string&& operator+ at -O2, which
+/// -Werror turns fatal.
+[[nodiscard]] std::string indexed_name(std::string_view prefix,
+                                       std::size_t index);
+
 }  // namespace salign::util

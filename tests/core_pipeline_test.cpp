@@ -8,6 +8,7 @@
 #include "msa/polish.hpp"
 #include "msa/probcons_like.hpp"
 #include "msa/scoring.hpp"
+#include "util/string_util.hpp"
 #include "workload/evolver.hpp"
 #include "workload/genome.hpp"
 #include "workload/rose.hpp"
@@ -93,7 +94,9 @@ TEST_P(PipelineContractTest, StatsAreCoherent) {
   EXPECT_EQ(total, seqs.size());
   EXPECT_GT(stats.wall_seconds, 0.0);
   EXPECT_GT(stats.modeled_seconds(), 0.0);
-  if (p > 1) EXPECT_GT(stats.total_bytes(), 0u);
+  if (p > 1) {
+    EXPECT_GT(stats.total_bytes(), 0u);
+  }
   EXPECT_FALSE(stats.summary().empty());
 }
 
@@ -205,11 +208,11 @@ TEST(SampleAlignD, BucketsGroupSimilarSequences) {
   const auto fam_b = family(16, 40, 2000, 1200);  // diffuse family
   std::vector<Sequence> seqs;
   for (std::size_t i = 0; i < fam_a.size(); ++i) {
-    seqs.emplace_back("A" + std::to_string(i),
+    seqs.emplace_back(util::indexed_name("A", i),
                       std::vector<std::uint8_t>(fam_a[i].codes().begin(),
                                                 fam_a[i].codes().end()),
                       bio::AlphabetKind::AminoAcid);
-    seqs.emplace_back("B" + std::to_string(i),
+    seqs.emplace_back(util::indexed_name("B", i),
                       std::vector<std::uint8_t>(fam_b[i].codes().begin(),
                                                 fam_b[i].codes().end()),
                       bio::AlphabetKind::AminoAcid);
@@ -304,11 +307,11 @@ TEST(RankMode, GlobalizedBalancesDivergentInputBetter) {
   const auto diffuse = family(24, 40, 2400, 1800);
   std::vector<Sequence> seqs;
   for (std::size_t i = 0; i < tight.size(); ++i) {
-    seqs.emplace_back("A" + std::to_string(i),
+    seqs.emplace_back(util::indexed_name("A", i),
                       std::vector<std::uint8_t>(tight[i].codes().begin(),
                                                 tight[i].codes().end()),
                       bio::AlphabetKind::AminoAcid);
-    seqs.emplace_back("B" + std::to_string(i),
+    seqs.emplace_back(util::indexed_name("B", i),
                       std::vector<std::uint8_t>(diffuse[i].codes().begin(),
                                                 diffuse[i].codes().end()),
                       bio::AlphabetKind::AminoAcid);

@@ -146,8 +146,8 @@ TEST(KmerRank, RangeMatchesPaperTable1Scale) {
 }
 
 TEST(KmerRank, OutOfRangeSimilarityThrows) {
-  EXPECT_THROW(rank_from_mean_similarity(-0.1), std::invalid_argument);
-  EXPECT_THROW(rank_from_mean_similarity(1.5), std::invalid_argument);
+  EXPECT_THROW((void)rank_from_mean_similarity(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)rank_from_mean_similarity(1.5), std::invalid_argument);
 }
 
 TEST(KmerRank, MonotoneDecreasingInSimilarity) {

@@ -9,6 +9,7 @@
 #include "msa/probcons_like.hpp"
 #include "msa/scoring.hpp"
 #include "msa/tcoffee_like.hpp"
+#include "util/string_util.hpp"
 #include "workload/evolver.hpp"
 #include "workload/rose.hpp"
 
@@ -16,9 +17,6 @@ namespace salign::msa {
 namespace {
 
 using bio::Sequence;
-using bio::SubstitutionMatrix;
-
-const SubstitutionMatrix& B62() { return SubstitutionMatrix::blosum62(); }
 
 std::vector<Sequence> family(std::size_t n, std::size_t len, double rel,
                              std::uint64_t seed) {
@@ -87,8 +85,8 @@ TEST_P(AlignerContractTest, DeterministicAcrossRuns) {
 
 TEST_P(AlignerContractTest, IdenticalSequencesGetGaplessAlignment) {
   std::vector<Sequence> seqs;
-  for (int i = 0; i < 5; ++i)
-    seqs.emplace_back("s" + std::to_string(i), "MKVLATTWYGGSDERKLAAC");
+  for (std::size_t i = 0; i < 5; ++i)
+    seqs.emplace_back(util::indexed_name("s", i), "MKVLATTWYGGSDERKLAAC");
   const Alignment a = GetParam()->align(seqs);
   EXPECT_EQ(a.num_cols(), 20u);
 }

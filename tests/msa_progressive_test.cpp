@@ -8,6 +8,7 @@
 #include "msa/progressive.hpp"
 #include "msa/refinement.hpp"
 #include "msa/scoring.hpp"
+#include "util/string_util.hpp"
 #include "workload/evolver.hpp"
 #include "workload/rose.hpp"
 
@@ -65,8 +66,8 @@ TEST(Progressive, DegapRestoresEveryInput) {
 
 TEST(Progressive, IdenticalSequencesAlignWithoutGaps) {
   std::vector<Sequence> seqs;
-  for (int i = 0; i < 5; ++i)
-    seqs.emplace_back("s" + std::to_string(i), "MKVLATTWYGGSDERK");
+  for (std::size_t i = 0; i < 5; ++i)
+    seqs.emplace_back(util::indexed_name("s", i), "MKVLATTWYGGSDERK");
   const Alignment a = progressive_align(seqs, tree_for(seqs), B62());
   EXPECT_EQ(a.num_cols(), 16u);
   for (std::size_t r = 0; r < a.num_rows(); ++r)
@@ -149,8 +150,8 @@ TEST(Consensus, EmptyAlignmentThrows) {
 
 TEST(Consensus, ConsensusOfIdenticalRowsIsTheSequence) {
   std::vector<Sequence> seqs;
-  for (int i = 0; i < 4; ++i)
-    seqs.emplace_back("s" + std::to_string(i), "MKWVLT");
+  for (std::size_t i = 0; i < 4; ++i)
+    seqs.emplace_back(util::indexed_name("s", i), "MKWVLT");
   const Alignment a = progressive_align(seqs, tree_for(seqs), B62());
   EXPECT_EQ(consensus_sequence(a, "anc").text(), "MKWVLT");
 }

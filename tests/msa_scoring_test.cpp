@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "msa/scoring.hpp"
+#include "util/string_util.hpp"
 #include "workload/evolver.hpp"
 
 namespace salign::msa {
@@ -94,8 +95,8 @@ TEST(SpScore, SampledEstimateTracksExact) {
   // Build a 40-row alignment of identical sequences: every pair scores the
   // same, so the sampled estimate must equal the exact value exactly.
   Rows rows;
-  for (int i = 0; i < 40; ++i)
-    rows.push_back({"s" + std::to_string(i), "MKWVLATT"});
+  for (std::size_t i = 0; i < 40; ++i)
+    rows.push_back({util::indexed_name("s", i), "MKWVLATT"});
   const Alignment a = make(rows);
   const double exact = sp_score(a, B62(), {});
   const double sampled = sp_score(a, B62(), {}, 100, 3);

@@ -6,6 +6,7 @@
 
 #include "msa/guide_tree.hpp"
 #include "util/rng.hpp"
+#include "util/string_util.hpp"
 
 namespace salign::msa {
 namespace {
@@ -99,7 +100,7 @@ TEST_P(TreeShapeTest, StructuralInvariants) {
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < i; ++j) d(i, j) = rng.uniform(0.05, 3.0);
 
-  for (const GuideTree t :
+  for (const GuideTree& t :
        {GuideTree::upgma(d), GuideTree::neighbor_joining(d)}) {
     EXPECT_EQ(t.num_leaves(), n);
     EXPECT_EQ(t.num_nodes(), 2 * n - 1);
@@ -107,8 +108,9 @@ TEST_P(TreeShapeTest, StructuralInvariants) {
     std::set<int> leaves;
     for (std::size_t i = 0; i < t.num_nodes(); ++i) {
       if (t.is_leaf(i)) leaves.insert(t.node(i).leaf_index);
-      if (static_cast<int>(i) != t.root())
+      if (static_cast<int>(i) != t.root()) {
         EXPECT_GE(t.node(i).parent, 0) << "node " << i;
+      }
     }
     EXPECT_EQ(leaves.size(), n);
     // Postorder covers all nodes, children before parents.
@@ -270,7 +272,8 @@ TEST(GuideTreeDeterminism, SameInputSameTree) {
   const GuideTree t1 = GuideTree::upgma(d);
   const GuideTree t2 = GuideTree::upgma(d);
   std::vector<std::string> names;
-  for (std::size_t i = 0; i < n; ++i) names.push_back("s" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i)
+    names.push_back(util::indexed_name("s", i));
   EXPECT_EQ(t1.newick(names), t2.newick(names));
 }
 

@@ -401,6 +401,12 @@ TEST(StringUtil, ToUpper) {
   EXPECT_EQ(to_upper("aBc-12"), "ABC-12");
 }
 
+TEST(StringUtil, IndexedName) {
+  EXPECT_EQ(indexed_name("s", 0), "s0");
+  EXPECT_EQ(indexed_name("seq_", 123), "seq_123");
+  EXPECT_EQ(indexed_name("", 7), "7");
+}
+
 // ---- Timers ------------------------------------------------------------------
 
 TEST(Timers, StopwatchMonotone) {
@@ -421,7 +427,7 @@ TEST(Timers, ThreadCpuTimerCountsWork) {
   // CPU clock moves, with a generous wall cap as the failure condition.
   while (t.seconds() <= 0.0 && wall.seconds() < 5.0) {
     for (int i = 0; i < 2000000; ++i)
-      sink += std::sqrt(static_cast<double>(i));
+      sink = sink + std::sqrt(static_cast<double>(i));
   }
   EXPECT_GT(t.seconds(), 0.0);
 }
@@ -431,7 +437,7 @@ TEST(Timers, ScopedTimerAccumulates) {
   {
     ScopedTimer st(acc);
     volatile int x = 0;
-    for (int i = 0; i < 100000; ++i) x += i;
+    for (int i = 0; i < 100000; ++i) x = x + i;
   }
   EXPECT_GE(acc, 0.0);
 }
