@@ -5,12 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "align/banded.hpp"
+#include "align/engine/engine.hpp"
 #include "align/global.hpp"
 #include "align/local.hpp"
 #include "core/partition.hpp"
@@ -58,23 +61,76 @@ void BM_KmerRankCentralized(benchmark::State& state) {
 }
 BENCHMARK(BM_KmerRankCentralized)->Arg(32)->Arg(64)->Arg(128)->Complexity();
 
+/// Reports DP throughput for a pairwise kernel: google-benchmark divides the
+/// accumulated cell count by elapsed time, so BENCH JSON entries carry a
+/// directly comparable "cells_per_second" figure.
+void set_cells_per_second(benchmark::State& state, std::size_t cells_per_iter) {
+  state.counters["cells_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cells_per_iter),
+      benchmark::Counter::kIsRate);
+}
+
 void BM_GlobalAlign(benchmark::State& state) {
   const auto seqs = seqs_cache(2, static_cast<std::size_t>(state.range(0)));
   const auto& m = bio::SubstitutionMatrix::blosum62();
   for (auto _ : state)
     benchmark::DoNotOptimize(
         align::global_align(seqs[0].codes(), seqs[1].codes(), m, {}));
+  set_cells_per_second(state, seqs[0].codes().size() * seqs[1].codes().size());
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_GlobalAlign)->Arg(100)->Arg(200)->Arg(400)->Complexity();
 
+// The engine's two kernel instantiations, benchmarked side by side so the
+// vector-vs-scalar ratio is part of every baseline (score-only pass and full
+// checkpointed alignment).
+void engine_global_score_bench(benchmark::State& state,
+                               align::engine::Backend backend) {
+  const auto seqs = seqs_cache(2, static_cast<std::size_t>(state.range(0)));
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(align::engine::global_score(
+        seqs[0].codes(), seqs[1].codes(), m, {}, backend));
+  set_cells_per_second(state, seqs[0].codes().size() * seqs[1].codes().size());
+}
+void BM_EngineGlobalScoreVector(benchmark::State& state) {
+  engine_global_score_bench(state, align::engine::Backend::kVector);
+}
+BENCHMARK(BM_EngineGlobalScoreVector)->Arg(400)->Arg(1000);
+void BM_EngineGlobalScoreScalar(benchmark::State& state) {
+  engine_global_score_bench(state, align::engine::Backend::kScalar);
+}
+BENCHMARK(BM_EngineGlobalScoreScalar)->Arg(400)->Arg(1000);
+
+void engine_global_align_bench(benchmark::State& state,
+                               align::engine::Backend backend) {
+  const auto seqs = seqs_cache(2, static_cast<std::size_t>(state.range(0)));
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(align::engine::global_align(
+        seqs[0].codes(), seqs[1].codes(), m, {}, backend));
+  set_cells_per_second(state, seqs[0].codes().size() * seqs[1].codes().size());
+}
+void BM_EngineGlobalAlignVector(benchmark::State& state) {
+  engine_global_align_bench(state, align::engine::Backend::kVector);
+}
+BENCHMARK(BM_EngineGlobalAlignVector)->Arg(400)->Arg(1000);
+void BM_EngineGlobalAlignScalar(benchmark::State& state) {
+  engine_global_align_bench(state, align::engine::Backend::kScalar);
+}
+BENCHMARK(BM_EngineGlobalAlignScalar)->Arg(400)->Arg(1000);
+
 void BM_BandedAlign(benchmark::State& state) {
   const auto seqs = seqs_cache(2, 400);
   const auto& m = bio::SubstitutionMatrix::blosum62();
+  const auto band = static_cast<std::size_t>(state.range(0));
   for (auto _ : state)
     benchmark::DoNotOptimize(align::banded_global_align(
-        seqs[0].codes(), seqs[1].codes(), m, {},
-        static_cast<std::size_t>(state.range(0))));
+        seqs[0].codes(), seqs[1].codes(), m, {}, band));
+  // Approximate banded cell count: rows x (2 * band + 1), clipped.
+  const std::size_t width =
+      std::min(seqs[1].codes().size(), 2 * band + 1);
+  set_cells_per_second(state, seqs[0].codes().size() * width);
 }
 BENCHMARK(BM_BandedAlign)->Arg(8)->Arg(32)->Arg(128);
 
@@ -84,6 +140,7 @@ void BM_LocalAlign(benchmark::State& state) {
   for (auto _ : state)
     benchmark::DoNotOptimize(
         align::local_align(seqs[0].codes(), seqs[1].codes(), m, {}));
+  set_cells_per_second(state, seqs[0].codes().size() * seqs[1].codes().size());
 }
 BENCHMARK(BM_LocalAlign)->Arg(100)->Arg(300);
 
@@ -100,6 +157,7 @@ void BM_ProfileAlign(benchmark::State& state) {
   const msa::Profile pr(right, m);
   for (auto _ : state)
     benchmark::DoNotOptimize(msa::align_profiles(pl, pr));
+  set_cells_per_second(state, pl.num_cols() * pr.num_cols());
 }
 BENCHMARK(BM_ProfileAlign)->Arg(8)->Arg(16)->Arg(32);
 
@@ -169,4 +227,19 @@ BENCHMARK(BM_PsrsPartition)->Arg(10000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using salign::align::engine::Backend;
+  benchmark::AddCustomContext(
+      "salign_engine_default",
+      salign::align::engine::backend_name(
+          salign::align::engine::default_backend()));
+  benchmark::AddCustomContext(
+      "salign_engine_vector_lanes",
+      std::to_string(
+          salign::align::engine::backend_lanes(Backend::kVector)));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,10 +58,31 @@ list(JOIN fig5_entries ",\n      " fig5_array)
 file(READ "${micro_json}" micro_content)
 string(TIMESTAMP now UTC)
 
+# Pull every benchmark's cells_per_second counter (added by the alignment
+# engine benches) into a flat summary so perf PRs can diff kernel throughput
+# without walking the full google-benchmark JSON.
+set(kernel_entries "")
+string(REGEX MATCHALL
+  "\"name\": \"([A-Za-z0-9_/]+)\",[^}]*\"cells_per_second\": ([0-9.e+-]+)"
+  kernel_lines "${micro_content}")
+foreach(line IN LISTS kernel_lines)
+  string(REGEX REPLACE
+    "\"name\": \"([A-Za-z0-9_/]+)\",[^}]*\"cells_per_second\": ([0-9.e+-]+)"
+    "{\"name\": \"\\1\", \"cells_per_second\": \\2}"
+    entry "${line}")
+  list(APPEND kernel_entries "${entry}")
+endforeach()
+list(JOIN kernel_entries ",\n      " kernel_array)
+
 file(WRITE "${OUT_JSON}" "{
-  \"schema\": 1,
+  \"schema\": 2,
   \"generated_utc\": \"${now}\",
   \"description\": \"Baseline perf numbers: google-benchmark micro kernels + Fig.5 modeled speedup sweep. Regenerate with the bench_baseline target.\",
+  \"kernel_cells_per_second\": {
+    \"entries\": [
+      ${kernel_array}
+    ]
+  },
   \"fig5_speedup\": {
     \"entries\": [
       ${fig5_array}

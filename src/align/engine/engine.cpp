@@ -1,0 +1,98 @@
+#include "align/engine/engine.hpp"
+
+#include <algorithm>
+
+#include "align/engine/gotoh.hpp"
+#include "align/engine/simd.hpp"
+
+namespace salign::align::engine {
+
+namespace {
+
+/// Shared degenerate-input handling for the global aligners (hoisted from the
+/// historical global.cpp / banded.cpp duplicates): aligning against an empty
+/// sequence is a single gap run.
+bool empty_edge_global(std::size_t m, std::size_t n, bio::GapPenalties gaps,
+                       PairwiseAlignment& out) {
+  if (m != 0 && n != 0) return false;
+  out.ops.assign(std::max(m, n), m == 0 ? EditOp::GapInA : EditOp::GapInB);
+  if (!out.ops.empty())
+    out.score =
+        -(gaps.open + gaps.extend * static_cast<float>(out.ops.size() - 1));
+  return true;
+}
+
+}  // namespace
+
+Backend default_backend() {
+#if defined(SALIGN_ENGINE_FORCE_SCALAR) || !defined(SALIGN_HAVE_VECTOR_EXT)
+  return Backend::kScalar;
+#else
+  return Backend::kVector;
+#endif
+}
+
+const char* backend_name(Backend backend) {
+  if (backend == Backend::kScalar) return "scalar";
+#ifdef SALIGN_HAVE_VECTOR_EXT
+  return "vector";
+#else
+  return "scalar";  // vector requests degrade to the scalar kernel
+#endif
+}
+
+int backend_lanes(Backend backend) {
+  return backend == Backend::kScalar ? ScalarF::kLanes : VecF::kLanes;
+}
+
+float global_score(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b,
+                   const bio::SubstitutionMatrix& matrix,
+                   bio::GapPenalties gaps, Backend backend,
+                   std::size_t* workspace_bytes) {
+  PairwiseAlignment edge;
+  if (empty_edge_global(a.size(), b.size(), gaps, edge)) {
+    if (workspace_bytes != nullptr) *workspace_bytes = 0;
+    return edge.score;
+  }
+  if (backend == Backend::kScalar)
+    return detail::global_score_impl<ScalarF>(a, b, matrix, gaps, 0, false,
+                                              workspace_bytes);
+  return detail::global_score_impl<VecF>(a, b, matrix, gaps, 0, false,
+                                         workspace_bytes);
+}
+
+PairwiseAlignment global_align(std::span<const std::uint8_t> a,
+                               std::span<const std::uint8_t> b,
+                               const bio::SubstitutionMatrix& matrix,
+                               bio::GapPenalties gaps, Backend backend) {
+  PairwiseAlignment out;
+  if (empty_edge_global(a.size(), b.size(), gaps, out)) return out;
+  if (backend == Backend::kScalar)
+    return detail::global_align_impl<ScalarF>(a, b, matrix, gaps, 0, false);
+  return detail::global_align_impl<VecF>(a, b, matrix, gaps, 0, false);
+}
+
+PairwiseAlignment banded_global_align(std::span<const std::uint8_t> a,
+                                      std::span<const std::uint8_t> b,
+                                      const bio::SubstitutionMatrix& matrix,
+                                      bio::GapPenalties gaps, std::size_t band,
+                                      Backend backend) {
+  PairwiseAlignment out;
+  if (empty_edge_global(a.size(), b.size(), gaps, out)) return out;
+  if (backend == Backend::kScalar)
+    return detail::global_align_impl<ScalarF>(a, b, matrix, gaps, band, true);
+  return detail::global_align_impl<VecF>(a, b, matrix, gaps, band, true);
+}
+
+LocalAlignment local_align(std::span<const std::uint8_t> a,
+                           std::span<const std::uint8_t> b,
+                           const bio::SubstitutionMatrix& matrix,
+                           bio::GapPenalties gaps, Backend backend) {
+  if (a.empty() || b.empty()) return {};
+  if (backend == Backend::kScalar)
+    return detail::local_align_impl<ScalarF>(a, b, matrix, gaps);
+  return detail::local_align_impl<VecF>(a, b, matrix, gaps);
+}
+
+}  // namespace salign::align::engine

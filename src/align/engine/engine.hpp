@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "align/pairwise.hpp"
+
+namespace salign::align {
+
+/// Shared "effectively minus infinity" sentinel for float DP cells.
+///
+/// A quarter of FLT_MAX leaves headroom so that the affine recurrences can
+/// keep subtracting gap penalties from unreachable cells without ever
+/// overflowing to -inf or producing NaN: the sentinel's magnitude (~8.5e37)
+/// is so large that subtracting any realistic penalty (or even millions of
+/// accumulated extends) is absorbed by float rounding — kNegInf - x == kNegInf
+/// for every |x| < 2^-1 ULP(kNegInf) ≈ 2e30. Reachable cells always win
+/// comparisons against it by ~1e37, so it never perturbs an optimal path.
+/// Covered by EngineNegInf.* in tests/align_engine_test.cpp.
+inline constexpr float kNegInf = -0.25F * std::numeric_limits<float>::max();
+
+namespace engine {
+
+/// Which kernel instantiation to run. Both are compiled into the library;
+/// the vector backend aliases the scalar one on compilers without
+/// GCC/Clang vector extensions.
+enum class Backend : std::uint8_t {
+  kScalar,  ///< 1-lane retained reference semantics
+  kVector,  ///< multi-lane anti-diagonal kernel (ISA-dependent width:
+            ///< 8 lanes under AVX, 4 under SSE/NEON; backend_lanes() tells)
+};
+
+/// Default dispatch: kVector unless the library was configured with
+/// -DSALIGN_ENGINE_FORCE_SCALAR=ON or the compiler lacks vector extensions.
+[[nodiscard]] Backend default_backend();
+[[nodiscard]] const char* backend_name(Backend backend);
+[[nodiscard]] int backend_lanes(Backend backend);
+
+/// Score-only global (Needleman–Wunsch/Gotoh) alignment. Allocates O(m + n)
+/// DP workspace — no traceback state of any kind. `workspace_bytes`, when
+/// non-null, receives the number of bytes of DP workspace the call allocated
+/// (tests pin the linear-memory guarantee through it).
+[[nodiscard]] float global_score(std::span<const std::uint8_t> a,
+                                 std::span<const std::uint8_t> b,
+                                 const bio::SubstitutionMatrix& matrix,
+                                 bio::GapPenalties gaps,
+                                 Backend backend,
+                                 std::size_t* workspace_bytes = nullptr);
+
+/// Full global alignment with checkpointed traceback: the forward pass keeps
+/// every sqrt(m)-th row of the three DP state values and the traceback
+/// re-derives decisions block by block, so no O(m·n) traceback matrix is
+/// ever materialized. Results (score, ops, tie-breaks) are identical to the
+/// retained scalar reference kernel.
+[[nodiscard]] PairwiseAlignment global_align(std::span<const std::uint8_t> a,
+                                             std::span<const std::uint8_t> b,
+                                             const bio::SubstitutionMatrix& matrix,
+                                             bio::GapPenalties gaps,
+                                             Backend backend);
+
+/// Banded global alignment (same band geometry as the historical
+/// banded_global_align: band half-width widened by the length difference).
+[[nodiscard]] PairwiseAlignment banded_global_align(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+    const bio::SubstitutionMatrix& matrix, bio::GapPenalties gaps,
+    std::size_t band, Backend backend);
+
+/// Local (Smith–Waterman) alignment, checkpointed traceback.
+[[nodiscard]] LocalAlignment local_align(std::span<const std::uint8_t> a,
+                                         std::span<const std::uint8_t> b,
+                                         const bio::SubstitutionMatrix& matrix,
+                                         bio::GapPenalties gaps,
+                                         Backend backend);
+
+/// Retained scalar reference kernels: the pre-engine row-major
+/// implementations with a full traceback matrix. They define the exact
+/// score/traceback semantics the engine must reproduce and exist solely as
+/// the oracle for the randomized differential tests (and as readable
+/// documentation of the recurrences).
+namespace reference {
+
+[[nodiscard]] PairwiseAlignment global_align(std::span<const std::uint8_t> a,
+                                             std::span<const std::uint8_t> b,
+                                             const bio::SubstitutionMatrix& matrix,
+                                             bio::GapPenalties gaps);
+
+[[nodiscard]] PairwiseAlignment banded_global_align(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+    const bio::SubstitutionMatrix& matrix, bio::GapPenalties gaps,
+    std::size_t band);
+
+[[nodiscard]] LocalAlignment local_align(std::span<const std::uint8_t> a,
+                                         std::span<const std::uint8_t> b,
+                                         const bio::SubstitutionMatrix& matrix,
+                                         bio::GapPenalties gaps);
+
+}  // namespace reference
+
+}  // namespace engine
+}  // namespace salign::align

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bio/substitution_matrix.hpp"
+
+namespace salign::align::engine {
+
+/// Pre-expanded substitution scores of one sequence against the whole
+/// alphabet: row(c)[j] == matrix.score(c, b[j]).
+///
+/// The DP inner loop then replaces the two-level `matrix.score(a[i], b[j])`
+/// gather (code -> row pointer -> element) with a single contiguous read from
+/// the row of the current residue of A. Rows are padded to a multiple of 8
+/// floats (zero-filled) so vector loads near the end of a diagonal never
+/// leave the allocation.
+class QueryProfile {
+ public:
+  QueryProfile(std::span<const std::uint8_t> b,
+               const bio::SubstitutionMatrix& matrix);
+
+  [[nodiscard]] std::size_t length() const { return n_; }
+
+  /// Contiguous score row for residue code `c`; valid indices [0, length).
+  [[nodiscard]] const float* row(std::uint8_t c) const {
+    return scores_.data() + static_cast<std::size_t>(c) * stride_;
+  }
+
+  /// Bytes held by the score table (workspace accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return scores_.size() * sizeof(float);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<float> scores_;
+};
+
+}  // namespace salign::align::engine

@@ -9,9 +9,11 @@ namespace salign::align {
 /// Global alignment with affine gaps (Needleman–Wunsch with Gotoh's
 /// three-state recurrence). Terminal gaps are penalized like internal ones.
 ///
-/// Time O(|a|·|b|), space O(|a|·|b|) for the packed traceback plus O(|b|)
-/// rolling score rows. This is the workhorse under the CLUSTALW-style
-/// distance pass and the T-Coffee primary library.
+/// Runs on the vectorized anti-diagonal engine (align/engine/) with
+/// checkpointed traceback: time O(|a|·|b|), space O(sqrt(|a|)·|b|) — no full
+/// traceback matrix. This is the workhorse under the CLUSTALW-style distance
+/// pass and the T-Coffee primary library. Score-only callers should use
+/// engine::global_score (O(|a| + |b|) space).
 [[nodiscard]] PairwiseAlignment global_align(
     std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
     const bio::SubstitutionMatrix& matrix, bio::GapPenalties gaps);

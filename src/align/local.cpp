@@ -1,129 +1,14 @@
 #include "align/local.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <vector>
-
-#include "util/matrix.hpp"
+#include "align/engine/engine.hpp"
 
 namespace salign::align {
-
-namespace {
-constexpr float kNegInf = -0.25F * std::numeric_limits<float>::max();
-enum State : std::uint8_t { kM = 0, kX = 1, kY = 2, kStop = 3 };
-struct Cell {
-  std::uint8_t came_from[3] = {kStop, kStop, kStop};
-};
-}  // namespace
 
 LocalAlignment local_align(std::span<const std::uint8_t> a,
                            std::span<const std::uint8_t> b,
                            const bio::SubstitutionMatrix& matrix,
                            bio::GapPenalties gaps) {
-  const std::size_t m = a.size();
-  const std::size_t n = b.size();
-  LocalAlignment out;
-  if (m == 0 || n == 0) return out;
-
-  std::vector<float> prev_m(n + 1, kNegInf), prev_x(n + 1, kNegInf),
-      prev_y(n + 1, kNegInf);
-  std::vector<float> cur_m(n + 1), cur_x(n + 1), cur_y(n + 1);
-  util::Matrix<Cell> trace(m + 1, n + 1);
-
-  float best = 0.0F;
-  std::size_t best_i = 0;
-  std::size_t best_j = 0;
-  std::uint8_t best_state = kStop;
-
-  for (std::size_t i = 1; i <= m; ++i) {
-    cur_m[0] = kNegInf;
-    cur_x[0] = kNegInf;
-    cur_y[0] = kNegInf;
-    for (std::size_t j = 1; j <= n; ++j) {
-      Cell& t = trace(i, j);
-
-      const float sub = matrix.score(a[i - 1], b[j - 1]);
-      // M may also start fresh (score 0 predecessor).
-      float bm = 0.0F;
-      std::uint8_t from = kStop;
-      if (prev_m[j - 1] > bm) {
-        bm = prev_m[j - 1];
-        from = kM;
-      }
-      if (prev_x[j - 1] > bm) {
-        bm = prev_x[j - 1];
-        from = kX;
-      }
-      if (prev_y[j - 1] > bm) {
-        bm = prev_y[j - 1];
-        from = kY;
-      }
-      cur_m[j] = bm + sub;
-      t.came_from[kM] = from;
-
-      const float open_x = cur_m[j - 1] - gaps.open;
-      const float ext_x = cur_x[j - 1] - gaps.extend;
-      if (ext_x >= open_x) {
-        cur_x[j] = ext_x;
-        t.came_from[kX] = kX;
-      } else {
-        cur_x[j] = open_x;
-        t.came_from[kX] = kM;
-      }
-
-      const float open_y = prev_m[j] - gaps.open;
-      const float ext_y = prev_y[j] - gaps.extend;
-      if (ext_y >= open_y) {
-        cur_y[j] = ext_y;
-        t.came_from[kY] = kY;
-      } else {
-        cur_y[j] = open_y;
-        t.came_from[kY] = kM;
-      }
-
-      if (cur_m[j] > best) {
-        best = cur_m[j];
-        best_i = i;
-        best_j = j;
-        best_state = kM;
-      }
-    }
-    std::swap(prev_m, cur_m);
-    std::swap(prev_x, cur_x);
-    std::swap(prev_y, cur_y);
-  }
-
-  out.score = best;
-  if (best_state == kStop) return out;  // empty alignment
-
-  std::size_t i = best_i;
-  std::size_t j = best_j;
-  std::uint8_t state = best_state;
-  while (state != kStop) {
-    const std::uint8_t from = trace(i, j).came_from[state];
-    switch (state) {
-      case kM:
-        out.ops.push_back(EditOp::Match);
-        --i;
-        --j;
-        break;
-      case kX:
-        out.ops.push_back(EditOp::GapInA);
-        --j;
-        break;
-      case kY:
-        out.ops.push_back(EditOp::GapInB);
-        --i;
-        break;
-      default: break;
-    }
-    state = from;
-    if (i == 0 && j == 0) break;
-  }
-  std::reverse(out.ops.begin(), out.ops.end());
-  out.a_begin = i;
-  out.b_begin = j;
-  return out;
+  return engine::local_align(a, b, matrix, gaps, engine::default_backend());
 }
 
 }  // namespace salign::align

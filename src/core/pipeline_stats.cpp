@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "align/engine/engine.hpp"
 #include "util/table.hpp"
 
 namespace salign::core {
@@ -74,6 +75,9 @@ std::string PipelineStats::summary() const {
      << "wall " << util::fmt("%.3f", wall_seconds) << " s; modeled cluster "
      << util::fmt("%.3f", modeled_seconds(model)) << " s; total "
      << total_bytes() << " bytes on the wire\n";
+  const align::engine::Backend backend = align::engine::default_backend();
+  os << "alignment engine: " << align::engine::backend_name(backend) << " ("
+     << align::engine::backend_lanes(backend) << " lanes)\n";
   return os.str();
 }
 

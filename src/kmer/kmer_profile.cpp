@@ -1,57 +1,120 @@
 #include "kmer/kmer_profile.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace salign::kmer {
 
+namespace {
+
+/// Dense count tables are used while the packed k-mer space fits in this
+/// many slots (256 Ki ids = 1 MiB of scratch); larger spaces (e.g.
+/// uncompressed amino acids with k >= 4) fall back to sort-and-group.
+constexpr std::uint64_t kDenseTableLimit = 1ULL << 18;
+
+}  // namespace
+
+int packed_kmer_bits(const bio::Alphabet& alpha) {
+  const auto letters = static_cast<unsigned>(alpha.letters());
+  return std::max(1, static_cast<int>(std::bit_width(letters - 1)));
+}
+
 KmerProfile KmerProfile::from_sequence(const bio::Sequence& seq,
-                                       const KmerParams& params) {
+                                      const KmerParams& params) {
   if (params.k <= 0) throw std::invalid_argument("KmerParams.k must be > 0");
   const bool compress = params.compressed &&
                         seq.alphabet_kind() == bio::AlphabetKind::AminoAcid;
   const bio::Alphabet& alpha =
       compress ? bio::Alphabet::compressed14() : seq.alphabet();
-  const auto base = static_cast<std::uint64_t>(alpha.size());
   const std::uint8_t wildcard = alpha.wildcard();
 
-  // Guard against k-mer id overflow in 32 bits (base^k must fit).
-  std::uint64_t space = 1;
-  for (int i = 0; i < params.k; ++i) {
-    space *= base;
-    if (space > (1ULL << 32))
-      throw std::invalid_argument("KmerParams.k too large for alphabet");
+  // Pack residues at the alphabet's bit width (2 bits for DNA, 4 for the
+  // compressed 14-letter alphabet, 5 for amino acids): a k-mer id is then a
+  // single shift-or per window instead of k base-multiplications, and the
+  // id space is a power of two so small spaces count into a dense table.
+  // When the padded width overflows 32 bits but the exact base-|alphabet|
+  // space still fits (e.g. uncompressed amino acids at k = 7), fall back to
+  // rolling base-N ids so the historically accepted k range is preserved.
+  const int bits = packed_kmer_bits(alpha);
+  const auto k = static_cast<std::size_t>(params.k);
+  const std::uint64_t id_bits =
+      static_cast<std::uint64_t>(bits) * static_cast<std::uint64_t>(k);
+  const auto base = static_cast<std::uint64_t>(alpha.size());
+  std::uint64_t space;
+  if (id_bits <= 32) {
+    space = 1ULL << id_bits;
+  } else {
+    space = 1;
+    for (std::size_t i = 0; i < k; ++i) {
+      space *= base;
+      if (space > (1ULL << 32))
+        throw std::invalid_argument("KmerParams.k too large for alphabet");
+    }
   }
 
   KmerProfile p;
   p.length_ = seq.size();
   p.k_ = params.k;
-  if (seq.size() < static_cast<std::size_t>(params.k)) return p;
+  if (seq.size() < k) return p;
 
+  // Rolling window: shift (or multiply) in one code per position; a
+  // wildcard resets the run so windows containing it are skipped. The
+  // base-N roll drops the outgoing digit explicitly.
   std::vector<std::uint32_t> ids;
   ids.reserve(seq.size());
-  const auto k = static_cast<std::size_t>(params.k);
-  for (std::size_t i = 0; i + k <= seq.size(); ++i) {
-    std::uint64_t id = 0;
-    bool ok = true;
-    for (std::size_t j = 0; j < k; ++j) {
-      std::uint8_t c = seq.code(i + j);
-      if (compress) c = alpha.compress_amino(c);
-      if (c == wildcard) {
-        ok = false;
-        break;
-      }
+  const bool bit_packed = id_bits <= 32;
+  const std::uint32_t mask =
+      !bit_packed ? 0U
+      : id_bits == 32
+          ? 0xFFFFFFFFU
+          : static_cast<std::uint32_t>((1ULL << id_bits) - 1);
+  std::uint64_t high_digit = 1;  // base^(k-1), for the base-N roll
+  for (std::size_t i = 0; i + 1 < k; ++i) high_digit *= base;
+  std::uint64_t id = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::uint8_t c = seq.code(i);
+    if (compress) c = alpha.compress_amino(c);
+    if (c == wildcard) {
+      run = 0;
+      id = 0;
+      continue;
+    }
+    if (bit_packed) {
+      id = ((id << bits) | c) & mask;
+    } else {
+      if (run >= k) id %= high_digit;  // drop the window's oldest digit
       id = id * base + c;
     }
-    if (ok) ids.push_back(static_cast<std::uint32_t>(id));
+    if (++run >= k) ids.push_back(static_cast<std::uint32_t>(id));
   }
-
-  std::sort(ids.begin(), ids.end());
-  for (std::size_t i = 0; i < ids.size();) {
-    std::size_t j = i;
-    while (j < ids.size() && ids[j] == ids[i]) ++j;
-    p.counts_.emplace_back(ids[i], static_cast<std::uint32_t>(j - i));
-    i = j;
+  if (space <= kDenseTableLimit) {
+    // Dense counting: O(windows) with one table slot per possible id. The
+    // scratch table persists across calls and only touched slots are
+    // cleared, so building a whole set's profiles stays allocation-free.
+    thread_local std::vector<std::uint32_t> table;
+    if (table.size() < space) table.resize(space, 0);
+    std::vector<std::uint32_t> touched;
+    touched.reserve(ids.size());
+    for (const std::uint32_t v : ids) {
+      if (table[v] == 0) touched.push_back(v);
+      ++table[v];
+    }
+    std::sort(touched.begin(), touched.end());
+    p.counts_.reserve(touched.size());
+    for (const std::uint32_t v : touched) {
+      p.counts_.emplace_back(v, table[v]);
+      table[v] = 0;
+    }
+  } else {
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 0; i < ids.size();) {
+      std::size_t j = i;
+      while (j < ids.size() && ids[j] == ids[i]) ++j;
+      p.counts_.emplace_back(ids[i], static_cast<std::uint32_t>(j - i));
+      i = j;
+    }
   }
   return p;
 }

@@ -22,7 +22,15 @@ struct KmerParams {
   bool compressed = true;
 };
 
-/// Sparse k-mer count vector of one sequence: sorted (kmer-id, count) pairs.
+/// Bits per residue of the packed k-mer id encoding for `alpha`: 2 for DNA,
+/// 4 for the compressed 14-letter alphabet, 5 for amino acids. A k-mer id
+/// is the concatenation of its residues' packed codes (one shift-or per
+/// window position), so k-mer spaces are powers of two and small ones count
+/// into a dense table instead of being sorted.
+[[nodiscard]] int packed_kmer_bits(const bio::Alphabet& alpha);
+
+/// Sparse k-mer count vector of one sequence: sorted (kmer-id, count) pairs
+/// over bit-packed ids (see packed_kmer_bits).
 ///
 /// Windows containing the alphabet wildcard are skipped. Profiles are the
 /// unit of comparison for the k-mer fractional-identity measure

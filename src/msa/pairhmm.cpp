@@ -182,55 +182,68 @@ SparsePosterior PairHmm::posterior(const bio::Sequence& a,
   const double log_z = log_add3(fwd_m(m, n), fx_prev[n], fy_prev[n]);
 
   // Backward: B_state(i, j) = P(suffix | state at (i, j)). All three states
-  // may end, so B(m, n) = 0 for each. Full M matrix, rolling X/Y.
-  util::Matrix<double> bwd_m(m + 1, n + 1, kLogZero);
+  // may end, so B(m, n) = 0 for each. The posterior only ever reads the
+  // backward M row directly below the row being computed, so B_M rolls like
+  // X and Y and posterior rows are emitted (in reverse) as the sweep runs —
+  // the second full (m+1)x(n+1) matrix of the historical implementation is
+  // gone and only the forward M matrix remains.
+  std::vector<double> bm_next(n + 1, kLogZero), bm_cur(n + 1, kLogZero);
   std::vector<double> bx_next(n + 1, kLogZero), bx_cur(n + 1, kLogZero);
   std::vector<double> by_next(n + 1, kLogZero), by_cur(n + 1, kLogZero);
-  bwd_m(m, n) = 0.0;
+
+  // Posterior(i, j) = F_M(i+1, j+1) + B_M(i+1, j+1) - log Z, sparsified.
+  // `bwd_row` holds B_M(i+1, 0..n).
+  std::vector<std::vector<SparsePosterior::Entry>> rows(m);
+  const double log_cutoff = std::log(params_.posterior_cutoff);
+  auto emit_posterior_row = [&](std::size_t i,
+                                const std::vector<double>& bwd_row) {
+    std::vector<SparsePosterior::Entry>& row = rows[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      const double lp = fwd_m(i + 1, j + 1) + bwd_row[j + 1] - log_z;
+      if (lp > log_cutoff) {
+        const double p = std::min(1.0, std::exp(lp));
+        row.push_back(SparsePosterior::Entry{static_cast<std::uint32_t>(j),
+                                             static_cast<float>(p)});
+      }
+    }
+  };
+
+  bm_next[n] = 0.0;  // B_M(m, n)
   bx_next[n] = 0.0;
   by_next[n] = 0.0;
   for (std::size_t j = n; j-- > 0;) {
     const double e = log_bg_[b.code(j)];
     bx_next[j] = bx_next[j + 1] + t_gg + e;
-    bwd_m(m, j) = bx_next[j + 1] + t_mg + e;
+    bm_next[j] = bx_next[j + 1] + t_mg + e;
     by_next[j] = kLogZero;
   }
-  for (std::size_t i = m; i-- > 0;) {
+  emit_posterior_row(m - 1, bm_next);
+
+  for (std::size_t i = m - 1; i >= 1; --i) {
     std::fill(bx_cur.begin(), bx_cur.end(), kLogZero);
     std::fill(by_cur.begin(), by_cur.end(), kLogZero);
     {
       // j == n column: only Y moves (consume a[i]) are possible.
       const double e = log_bg_[a.code(i)];
       by_cur[n] = by_next[n] + t_gg + e;
-      bwd_m(i, n) = by_next[n] + t_mg + e;
+      bm_cur[n] = by_next[n] + t_mg + e;
     }
     for (std::size_t j = n; j-- > 0;) {
-      const double em = emit_match(a.code(i), b.code(j)) + bwd_m(i + 1, j + 1);
+      const double em = emit_match(a.code(i), b.code(j)) + bm_next[j + 1];
       const double ex = log_bg_[b.code(j)] + bx_cur[j + 1];
       const double ey = log_bg_[a.code(i)] + by_next[j];
-      bwd_m(i, j) = log_add3(em + t_mm, ex + t_mg, ey + t_mg);
+      bm_cur[j] = log_add3(em + t_mm, ex + t_mg, ey + t_mg);
       bx_cur[j] = log_add(em + t_gm, ex + t_gg);
       by_cur[j] = log_add(em + t_gm, ey + t_gg);
     }
+    emit_posterior_row(i - 1, bm_cur);
+    std::swap(bm_next, bm_cur);
     std::swap(bx_next, bx_cur);
     std::swap(by_next, by_cur);
   }
 
-  // Posterior(i, j) = F_M(i+1, j+1) + B_M(i+1, j+1) - log Z, sparsified.
   SparsePosterior out(m, n);
-  std::vector<SparsePosterior::Entry> row;
-  for (std::size_t i = 0; i < m; ++i) {
-    row.clear();
-    for (std::size_t j = 0; j < n; ++j) {
-      const double lp = fwd_m(i + 1, j + 1) + bwd_m(i + 1, j + 1) - log_z;
-      if (lp > std::log(params_.posterior_cutoff)) {
-        const double p = std::min(1.0, std::exp(lp));
-        row.push_back(SparsePosterior::Entry{static_cast<std::uint32_t>(j),
-                                             static_cast<float>(p)});
-      }
-    }
-    out.append_row(row);
-  }
+  for (std::size_t i = 0; i < m; ++i) out.append_row(rows[i]);
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "msa/profile_align.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace salign::msa {
@@ -20,19 +21,23 @@ ProfileAlignResult align_profiles(const Profile& a, const Profile& b,
   const std::vector<float> occ_b = occupancies(b);
 
   // PSP evaluated naively is O(|alphabet|^2) per DP cell. Precomputing, for
-  // every column of B, the score vector sv[cb][x] = sum_y g_y(cb) S(x, y)
+  // every column of B, the score vector svT[x][cb] = sum_y g_y(cb) S(x, y)
   // and, for every column of A, its nonzero frequencies, drops the cell
-  // cost to O(nnz(A column)) — the same factorization MUSCLE uses.
+  // cost to O(nnz(A column)) — the same factorization MUSCLE uses. svT is
+  // laid out residue-major so that, per DP row, the whole score row over cb
+  // builds with nnz contiguous saxpy sweeps the compiler can vectorize,
+  // instead of a strided gather per cell.
   const bio::SubstitutionMatrix& m = a.matrix();
   const auto alpha = static_cast<std::size_t>(a.alphabet_size());
-  util::Matrix<float> sv(b.num_cols(), alpha, 0.0F);
-  for (std::size_t cb = 0; cb < b.num_cols(); ++cb) {
+  const std::size_t nb = b.num_cols();
+  util::Matrix<float> svt(alpha, nb, 0.0F);
+  for (std::size_t cb = 0; cb < nb; ++cb) {
     for (std::size_t y = 0; y < alpha; ++y) {
       const float gy = b.freq(cb, static_cast<std::uint8_t>(y));
       if (gy == 0.0F) continue;
       for (std::size_t x = 0; x < alpha; ++x)
-        sv(cb, x) += gy * m.score(static_cast<std::uint8_t>(x),
-                                  static_cast<std::uint8_t>(y));
+        svt(x, cb) += gy * m.score(static_cast<std::uint8_t>(x),
+                                   static_cast<std::uint8_t>(y));
     }
   }
   std::vector<std::vector<std::pair<std::uint8_t, float>>> sparse_a(
@@ -44,14 +49,15 @@ ProfileAlignResult align_profiles(const Profile& a, const Profile& b,
         sparse_a[ca].emplace_back(static_cast<std::uint8_t>(x), fx);
     }
 
-  return detail::profile_dp(
-      a.num_cols(), b.num_cols(),
-      [&](std::size_t ca, std::size_t cb) {
-        float s = 0.0F;
-        for (const auto& [code, f] : sparse_a[ca]) s += f * sv(cb, code);
-        return s;
-      },
-      occ_a, occ_b, opts);
+  // profile_dp announces each DP row via prepare_row, so one dense saxpy
+  // sweep per A column serves every cell of that row and the per-cell call
+  // is a plain array read (no stores inside the DP inner loop). Term order
+  // per cell matches the historical per-cell sparse dot exactly (same
+  // partial-sum sequence), so scores are bit-identical.
+  const detail::PspRowScorer scorer{&svt, &sparse_a,
+                                    std::vector<float>(nb, 0.0F)};
+  return detail::profile_dp(a.num_cols(), b.num_cols(), scorer, occ_a, occ_b,
+                            opts);
 }
 
 float score_profile_path(const Profile& a, const Profile& b,

@@ -70,6 +70,19 @@ TEST(KmerProfile, InvalidKThrows) {
                std::invalid_argument);
 }
 
+TEST(KmerProfile, LargeKBeyondBitPackingStillCounts) {
+  // k = 7 over uncompressed amino acids needs 35 packed bits, but the exact
+  // 21^7 id space still fits 32 bits: the base-N fallback must keep the
+  // historically accepted k range working (windows, counts, similarity).
+  const Sequence s("s", "ACDEFGHIKLACDEFGHIKL");
+  const KmerProfile p = KmerProfile::from_sequence(s, uncompressed(7));
+  EXPECT_EQ(p.distinct(), 10u);  // 14 windows; ACDEFGH..KLACDEF repeat once
+  std::uint64_t windows = 0;
+  for (const auto& [id, count] : p.counts()) windows += count;
+  EXPECT_EQ(windows, 14u);
+  EXPECT_DOUBLE_EQ(p.similarity(p), 1.0);
+}
+
 TEST(KmerProfile, MismatchedKThrows) {
   const Sequence s("s", "ACDEF");
   const KmerProfile p2 = KmerProfile::from_sequence(s, uncompressed(2));
