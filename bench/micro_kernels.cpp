@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "align/banded.hpp"
+#include "align/distance.hpp"
+#include "align/engine/batch.hpp"
 #include "align/engine/engine.hpp"
 #include "align/global.hpp"
 #include "align/local.hpp"
@@ -83,14 +85,17 @@ BENCHMARK(BM_GlobalAlign)->Arg(100)->Arg(200)->Arg(400)->Complexity();
 
 // The engine's two kernel instantiations, benchmarked side by side so the
 // vector-vs-scalar ratio is part of every baseline (score-only pass and full
-// checkpointed alignment).
+// checkpointed alignment). The score benches pin the FLOAT tier so these
+// rows stay comparable with the pre-integer baselines; the striped integer
+// tiers have their own benches below.
 void engine_global_score_bench(benchmark::State& state,
                                align::engine::Backend backend) {
   const auto seqs = seqs_cache(2, static_cast<std::size_t>(state.range(0)));
   const auto& m = bio::SubstitutionMatrix::blosum62();
   for (auto _ : state)
     benchmark::DoNotOptimize(align::engine::global_score(
-        seqs[0].codes(), seqs[1].codes(), m, {}, backend));
+        seqs[0].codes(), seqs[1].codes(), m, {}, backend, nullptr,
+        align::engine::ScoreTier::kFloat));
   set_cells_per_second(state, seqs[0].codes().size() * seqs[1].codes().size());
 }
 void BM_EngineGlobalScoreVector(benchmark::State& state) {
@@ -101,6 +106,102 @@ void BM_EngineGlobalScoreScalar(benchmark::State& state) {
   engine_global_score_bench(state, align::engine::Backend::kScalar);
 }
 BENCHMARK(BM_EngineGlobalScoreScalar)->Arg(400)->Arg(1000);
+
+// ---- striped integer score tiers ----------------------------------------------
+//
+// ScoreBatch reuses one striped query profile across counterparts, exactly
+// as the distance-matrix drivers do. The int8 bench runs in the tier's
+// honest regime: pairs short enough for the int8 rails (the boundary gap
+// run bounds the viable length to ~100 residues) and divergent enough not
+// to saturate the ceiling — i.e. distance-matrix pairs. A "promotions"
+// counter reports if the regime drifts into saturation.
+
+/// ~20% identity mutants of a random protein query: scores stay inside the
+/// int8 rails while the pair remains alignment-worthy.
+std::vector<std::vector<std::uint8_t>> mutant_pairs(std::size_t len,
+                                                    std::size_t count,
+                                                    std::uint64_t seed,
+                                                    std::vector<std::uint8_t>&
+                                                        query) {
+  util::Rng rng(seed);
+  query.resize(len);
+  for (auto& c : query) c = static_cast<std::uint8_t>(rng.below(20));
+  std::vector<std::vector<std::uint8_t>> others(count, query);
+  for (auto& o : others)
+    for (auto& c : o)
+      if (rng.chance(0.8)) c = static_cast<std::uint8_t>(rng.below(20));
+  return others;
+}
+
+void engine_striped_bench(benchmark::State& state, std::size_t len,
+                          align::engine::ScoreTier tier) {
+  std::vector<std::uint8_t> query;
+  const auto others = mutant_pairs(len, 16, 99, query);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const bio::GapPenalties gaps{10.0F, 1.0F};
+  align::engine::ScoreBatch batch(query, m, gaps,
+                                  align::engine::default_backend(), tier);
+  for (auto _ : state)
+    for (const auto& o : others) benchmark::DoNotOptimize(batch.score(o));
+  set_cells_per_second(state, others.size() * len * len);
+  state.counters["promotions"] =
+      static_cast<double>(batch.stats().promotions);
+}
+void BM_EngineScoreStripedInt8(benchmark::State& state) {
+  engine_striped_bench(state, static_cast<std::size_t>(state.range(0)),
+                       align::engine::ScoreTier::kInt8);
+}
+BENCHMARK(BM_EngineScoreStripedInt8)->Arg(94);
+void BM_EngineScoreStripedInt16(benchmark::State& state) {
+  engine_striped_bench(state, static_cast<std::size_t>(state.range(0)),
+                       align::engine::ScoreTier::kInt16);
+}
+BENCHMARK(BM_EngineScoreStripedInt16)->Arg(400)->Arg(1000);
+void BM_EngineScoreBatchAuto(benchmark::State& state) {
+  engine_striped_bench(state, static_cast<std::size_t>(state.range(0)),
+                       align::engine::ScoreTier::kAuto);
+}
+BENCHMARK(BM_EngineScoreBatchAuto)->Arg(400);
+
+// ---- distance-matrix drivers ---------------------------------------------------
+
+std::size_t pair_cells(std::span<const bio::Sequence> seqs) {
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < seqs.size(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      cells += seqs[i].size() * seqs[j].size();
+  return cells;
+}
+
+void distance_matrix_score_bench(benchmark::State& state,
+                                 align::engine::ScoreTier tier) {
+  const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 300);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  align::ScoreDistanceOptions opt;
+  opt.first_tier = tier;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        align::score_distance_matrix(seqs, m, m.default_gaps(), opt));
+  set_cells_per_second(state, pair_cells(seqs));
+}
+void BM_DistanceMatrixScore(benchmark::State& state) {
+  distance_matrix_score_bench(state, align::engine::ScoreTier::kAuto);
+}
+BENCHMARK(BM_DistanceMatrixScore)->Arg(24);
+void BM_DistanceMatrixScoreFloat(benchmark::State& state) {
+  distance_matrix_score_bench(state, align::engine::ScoreTier::kFloat);
+}
+BENCHMARK(BM_DistanceMatrixScoreFloat)->Arg(24);
+
+void BM_DistanceMatrixKimura(benchmark::State& state) {
+  const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 200);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        align::alignment_distance_matrix(seqs, m, m.default_gaps()));
+  set_cells_per_second(state, pair_cells(seqs));
+}
+BENCHMARK(BM_DistanceMatrixKimura)->Arg(12);
 
 void engine_global_align_bench(benchmark::State& state,
                                align::engine::Backend backend) {

@@ -1,0 +1,94 @@
+# Compares the kernel_cells_per_second summary of a freshly produced
+# BENCH_baseline.json against the committed per-PR baseline and WARNS (never
+# fails) on regressions beyond the threshold — CI runners are noisy, so this
+# is a tripwire for reviewers, not a gate. Invoked as:
+#   cmake -DBASELINE=BENCH_pr3.json -DCURRENT=build/BENCH_baseline.json
+#         [-DTHRESHOLD_PERCENT=80] -P cmake/bench_compare.cmake
+
+if(NOT BASELINE OR NOT CURRENT)
+  message(FATAL_ERROR "bench_compare: BASELINE and CURRENT are required")
+endif()
+if(NOT THRESHOLD_PERCENT)
+  set(THRESHOLD_PERCENT 80)  # warn below 80% of baseline (>20% regression)
+endif()
+
+# Converts a JSON number (possibly scientific notation, e.g. "3.08e+09")
+# into a plain integer (truncated). CMake's math() is int64-only, so the
+# ratio test below runs on integers scaled by THRESHOLD_PERCENT.
+function(sci_to_int value out_var)
+  if(NOT value MATCHES "^([0-9]+)(\\.([0-9]*))?([eE]\\+?(-?[0-9]+))?$")
+    set(${out_var} "" PARENT_SCOPE)
+    return()
+  endif()
+  set(int_part "${CMAKE_MATCH_1}")
+  set(frac "${CMAKE_MATCH_3}")
+  set(exp "${CMAKE_MATCH_5}")
+  if(exp STREQUAL "")
+    set(exp 0)
+  endif()
+  string(LENGTH "${frac}" frac_len)
+  math(EXPR shift "${exp} - ${frac_len}")
+  set(digits "${int_part}${frac}")
+  if(shift GREATER 0)
+    foreach(_ RANGE 1 ${shift})
+      set(digits "${digits}0")
+    endforeach()
+  elseif(shift LESS 0)
+    math(EXPR keep "0 - ${shift}")
+    string(LENGTH "${digits}" dlen)
+    if(dlen LESS_EQUAL keep)
+      set(digits 0)
+    else()
+      math(EXPR dlen "${dlen} - ${keep}")
+      string(SUBSTRING "${digits}" 0 ${dlen} digits)
+    endif()
+  endif()
+  # Strip leading zeros so math() does not read octal.
+  string(REGEX REPLACE "^0+([0-9])" "\\1" digits "${digits}")
+  set(${out_var} "${digits}" PARENT_SCOPE)
+endfunction()
+
+file(READ "${BASELINE}" baseline_json)
+file(READ "${CURRENT}" current_json)
+
+# name -> cells_per_second of the committed baseline.
+string(JSON base_entries GET "${baseline_json}" kernel_cells_per_second entries)
+string(JSON base_len LENGTH "${base_entries}")
+math(EXPR base_last "${base_len} - 1")
+foreach(i RANGE 0 ${base_last})
+  string(JSON name GET "${base_entries}" ${i} name)
+  string(JSON cps GET "${base_entries}" ${i} cells_per_second)
+  string(MAKE_C_IDENTIFIER "${name}" key)
+  sci_to_int("${cps}" base_${key})
+endforeach()
+
+string(JSON cur_entries GET "${current_json}" kernel_cells_per_second entries)
+string(JSON cur_len LENGTH "${cur_entries}")
+math(EXPR cur_last "${cur_len} - 1")
+set(compared 0)
+set(regressed 0)
+foreach(i RANGE 0 ${cur_last})
+  string(JSON name GET "${cur_entries}" ${i} name)
+  string(JSON cps GET "${cur_entries}" ${i} cells_per_second)
+  string(MAKE_C_IDENTIFIER "${name}" key)
+  if(NOT DEFINED base_${key} OR base_${key} STREQUAL "" OR
+     base_${key} EQUAL 0)
+    message(STATUS "bench_compare: ${name}: no baseline entry (new bench)")
+    continue()
+  endif()
+  sci_to_int("${cps}" cur_int)
+  if(cur_int STREQUAL "")
+    continue()
+  endif()
+  math(EXPR compared "${compared} + 1")
+  math(EXPR lhs "${cur_int} * 100")
+  math(EXPR rhs "${base_${key}} * ${THRESHOLD_PERCENT}")
+  if(lhs LESS rhs)
+    math(EXPR regressed "${regressed} + 1")
+    message(WARNING "bench_compare: ${name} regressed: ${cps} cells/s vs "
+                    "baseline ${base_${key}} (below ${THRESHOLD_PERCENT}%)")
+  endif()
+endforeach()
+
+message(STATUS "bench_compare: ${compared} kernels compared against "
+               "${BASELINE}; ${regressed} below ${THRESHOLD_PERCENT}%")

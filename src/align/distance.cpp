@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "align/engine/batch.hpp"
 #include "align/global.hpp"
+#include "par/cluster.hpp"
 
 namespace salign::align {
 
@@ -34,8 +37,7 @@ double kimura_distance(double fractional_identity) {
   const double d = std::clamp(1.0 - fractional_identity, 0.0, 1.0);
   const double arg = 1.0 - d - d * d / 5.0;
   // Saturation guard: identities below ~25% drive the log argument to 0.
-  constexpr double kMaxDistance = 5.0;
-  if (arg <= std::exp(-kMaxDistance)) return kMaxDistance;
+  if (arg <= std::exp(-kMaxGuideTreeDistance)) return kMaxGuideTreeDistance;
   return -std::log(arg);
 }
 
@@ -45,6 +47,155 @@ double alignment_distance(std::span<const std::uint8_t> a,
                           bio::GapPenalties gaps) {
   const PairwiseAlignment aln = global_align(a, b, matrix, gaps);
   return kimura_distance(fractional_identity(a, b, aln.ops));
+}
+
+// ---------------------------------------------------------------------------
+// Batched drivers
+// ---------------------------------------------------------------------------
+
+std::pair<std::size_t, std::size_t> pair_from_index(std::size_t p) {
+  // Invert the triangular number: the float estimate is correct to +-1,
+  // fixed up exactly by the adjustment loops.
+  auto i = static_cast<std::size_t>(
+      (std::sqrt(8.0 * static_cast<double>(p) + 1.0) + 1.0) / 2.0);
+  while (i >= 1 && i * (i - 1) / 2 > p) --i;
+  while ((i + 1) * i / 2 <= p) ++i;
+  return {i, p - i * (i - 1) / 2};
+}
+
+util::SymmetricMatrix<double> pairwise_distance_matrix(
+    std::size_t n, unsigned threads,
+    const std::function<double(std::size_t, std::size_t)>& fn) {
+  util::SymmetricMatrix<double> d(n, 0.0);
+  const std::size_t pairs = n == 0 ? 0 : n * (n - 1) / 2;
+  par::parallel_for(
+      pairs,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          const auto [i, j] = pair_from_index(p);
+          d(i, j) = fn(i, j);
+        }
+      },
+      threads);
+  return d;
+}
+
+namespace {
+
+/// One pair of the alignment distance pass: the historical consumer-loop
+/// arithmetic, verbatim.
+void align_pair(std::span<const bio::Sequence> seqs,
+                const bio::SubstitutionMatrix& matrix, bio::GapPenalties gaps,
+                const PairDistanceOptions& options, std::size_t i,
+                std::size_t j, PairAlignments& out) {
+  out.global =
+      options.band > 0
+          ? engine::banded_global_align(seqs[i].codes(), seqs[j].codes(),
+                                        matrix, gaps, options.band,
+                                        options.backend)
+          : engine::global_align(seqs[i].codes(), seqs[j].codes(), matrix,
+                                 gaps, options.backend);
+  if (options.with_local)
+    out.local = engine::local_align(seqs[i].codes(), seqs[j].codes(), matrix,
+                                    gaps, options.backend);
+}
+
+double pair_kimura(std::span<const bio::Sequence> seqs, std::size_t i,
+                   std::size_t j, const PairAlignments& pair) {
+  return kimura_distance(fractional_identity(
+      seqs[i].codes(), seqs[j].codes(), pair.global.ops));
+}
+
+}  // namespace
+
+util::SymmetricMatrix<double> alignment_distance_matrix(
+    std::span<const bio::Sequence> seqs, const bio::SubstitutionMatrix& matrix,
+    bio::GapPenalties gaps, const PairDistanceOptions& options,
+    const PairVisitor& visit) {
+  const std::size_t n = seqs.size();
+  if (!visit) {
+    return pairwise_distance_matrix(
+        n, options.threads, [&](std::size_t i, std::size_t j) {
+          PairAlignments pair;
+          align_pair(seqs, matrix, gaps, options, i, j, pair);
+          return pair_kimura(seqs, i, j, pair);
+        });
+  }
+
+  // Visitor mode: compute pair alignments in parallel one bounded block at
+  // a time, then hand them to the visitor serially in pair order — shared
+  // visitor state needs no locking and the outcome is order-deterministic.
+  constexpr std::size_t kBlock = 256;
+  util::SymmetricMatrix<double> d(n, 0.0);
+  const std::size_t pairs = n == 0 ? 0 : n * (n - 1) / 2;
+  std::vector<PairAlignments> block(std::min<std::size_t>(kBlock, pairs));
+  for (std::size_t base = 0; base < pairs; base += kBlock) {
+    const std::size_t count = std::min(kBlock, pairs - base);
+    par::parallel_for(
+        count,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            const auto [i, j] = pair_from_index(base + p);
+            align_pair(seqs, matrix, gaps, options, i, j, block[p]);
+          }
+        },
+        options.threads);
+    for (std::size_t p = 0; p < count; ++p) {
+      const auto [i, j] = pair_from_index(base + p);
+      d(i, j) = pair_kimura(seqs, i, j, block[p]);
+      visit(i, j, block[p]);
+    }
+  }
+  return d;
+}
+
+util::SymmetricMatrix<double> score_distance_matrix(
+    std::span<const bio::Sequence> seqs, const bio::SubstitutionMatrix& matrix,
+    bio::GapPenalties gaps, const ScoreDistanceOptions& options) {
+  const std::size_t n = seqs.size();
+  util::SymmetricMatrix<double> d(n, 0.0);
+  if (n == 0) return d;
+
+  // Phase 1: self-scores (the normalization scale), one batch per row.
+  std::vector<float> self(n, 0.0F);
+  par::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          engine::ScoreBatch batch(seqs[i].codes(), matrix, gaps,
+                                   options.backend, options.first_tier);
+          self[i] = batch.score(seqs[i].codes());
+        }
+      },
+      options.threads);
+
+  // Phase 2: one striped profile per row i, scored against every j < i.
+  // Row i costs O(i) pairs, so contiguous row chunks would hand the last
+  // worker ~half the triangle; interleaving cheap and expensive rows
+  // (r -> r/2 from the bottom, n-1-r/2 from the top) balances every chunk
+  // while each (i, j) cell still has exactly one writer.
+  par::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const std::size_t i = (r % 2 == 0) ? r / 2 : n - 1 - r / 2;
+          if (i == 0) continue;
+          engine::ScoreBatch batch(seqs[i].codes(), matrix, gaps,
+                                   options.backend, options.first_tier);
+          for (std::size_t j = 0; j < i; ++j) {
+            const double denom = std::min(self[i], self[j]);
+            if (denom <= 0.0) {
+              d(i, j) = kMaxScoreDistance;
+              continue;
+            }
+            const double ratio =
+                static_cast<double>(batch.score(seqs[j].codes())) / denom;
+            d(i, j) = std::clamp(1.0 - ratio, 0.0, kMaxScoreDistance);
+          }
+        }
+      },
+      options.threads);
+  return d;
 }
 
 }  // namespace salign::align

@@ -1,0 +1,121 @@
+#include "align/engine/batch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/engine/gotoh.hpp"
+#include "align/engine/simd.hpp"
+#include "align/engine/simd_int.hpp"
+#include "align/engine/striped.hpp"
+
+namespace salign::align::engine {
+
+namespace {
+
+/// Degenerate pairs short-circuit before any tier: aligning against an
+/// empty sequence is a single gap run (same formula as engine.cpp's
+/// empty_edge_global).
+float empty_edge_score(std::size_t m, std::size_t n, bio::GapPenalties gaps) {
+  const std::size_t len = std::max(m, n);
+  if (len == 0) return 0.0F;
+  return -(gaps.open + gaps.extend * static_cast<float>(len - 1));
+}
+
+}  // namespace
+
+struct ScoreBatch::Impl {
+  virtual ~Impl() = default;
+  virtual void build() = 0;
+  virtual float score(std::span<const std::uint8_t> other) = 0;
+  [[nodiscard]] virtual std::size_t bytes() const = 0;
+
+  std::vector<std::uint8_t> query;
+  const bio::SubstitutionMatrix* matrix = nullptr;
+  bio::GapPenalties gaps;
+  ScoreTier first_tier = ScoreTier::kAuto;
+  detail::IntGate gate;
+  Stats stats;
+};
+
+namespace {
+
+template <typename V8, typename V16, typename VF>
+struct ImplT final : ScoreBatch::Impl {
+  detail::StripedProfile<V8> p8;
+  detail::StripedProfile<V16> p16;
+  bool p16_built = false;
+  detail::StripedWorkspace<V8> ws8;
+  detail::StripedWorkspace<V16> ws16;
+  std::size_t float_ws = 0;
+
+  void build() override {
+    if (first_tier == ScoreTier::kFloat) return;  // gate never consulted
+    gate = detail::scan_int_gate(*matrix, gaps);
+    if (first_tier == ScoreTier::kAuto || first_tier == ScoreTier::kInt8)
+      p8 = detail::StripedProfile<V8>(query, *matrix, gate);
+  }
+
+  float score(std::span<const std::uint8_t> other) override {
+    if (query.empty() || other.empty())
+      return empty_edge_score(query.size(), other.size(), gaps);
+    float s = 0.0F;
+    if (first_tier <= ScoreTier::kInt8 && p8.viable() &&
+        p8.viable_for(other.size())) {
+      ++stats.int8_runs;
+      if (detail::striped_score(p8, other, ws8, &s)) return s;
+      ++stats.promotions;
+    }
+    if (first_tier <= ScoreTier::kInt16) {
+      if (!p16_built) {
+        p16 = detail::StripedProfile<V16>(query, *matrix, gate);
+        p16_built = true;
+      }
+      if (p16.viable() && p16.viable_for(other.size())) {
+        ++stats.int16_runs;
+        if (detail::striped_score(p16, other, ws16, &s)) return s;
+        ++stats.promotions;
+      }
+    }
+    ++stats.float_runs;
+    return detail::global_score_impl<VF>(query, other, *matrix, gaps, 0,
+                                         false, &float_ws);
+  }
+
+  [[nodiscard]] std::size_t bytes() const override {
+    return p8.bytes() + p16.bytes() + ws8.bytes() + ws16.bytes() + float_ws +
+           query.capacity();
+  }
+};
+
+}  // namespace
+
+ScoreBatch::ScoreBatch(std::span<const std::uint8_t> query,
+                       const bio::SubstitutionMatrix& matrix,
+                       bio::GapPenalties gaps, Backend backend,
+                       ScoreTier first_tier) {
+  if (backend == Backend::kScalar)
+    impl_ = std::make_unique<ImplT<ScalarI8, ScalarI16, ScalarF>>();
+  else
+    impl_ = std::make_unique<ImplT<VecI8, VecI16, VecF>>();
+  impl_->query.assign(query.begin(), query.end());
+  impl_->matrix = &matrix;
+  impl_->gaps = gaps;
+  impl_->first_tier = first_tier;
+  impl_->build();
+}
+
+ScoreBatch::~ScoreBatch() = default;
+ScoreBatch::ScoreBatch(ScoreBatch&&) noexcept = default;
+ScoreBatch& ScoreBatch::operator=(ScoreBatch&&) noexcept = default;
+
+float ScoreBatch::score(std::span<const std::uint8_t> other) {
+  return impl_->score(other);
+}
+
+std::size_t ScoreBatch::query_length() const { return impl_->query.size(); }
+
+const ScoreBatch::Stats& ScoreBatch::stats() const { return impl_->stats; }
+
+std::size_t ScoreBatch::workspace_bytes() const { return impl_->bytes(); }
+
+}  // namespace salign::align::engine

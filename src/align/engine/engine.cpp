@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "align/engine/batch.hpp"
 #include "align/engine/gotoh.hpp"
 #include "align/engine/simd.hpp"
 
@@ -45,21 +46,29 @@ int backend_lanes(Backend backend) {
   return backend == Backend::kScalar ? ScalarF::kLanes : VecF::kLanes;
 }
 
+const char* tier_name(ScoreTier tier) {
+  switch (tier) {
+    case ScoreTier::kAuto: return "auto";
+    case ScoreTier::kInt8: return "int8";
+    case ScoreTier::kInt16: return "int16";
+    default: return "float";
+  }
+}
+
 float global_score(std::span<const std::uint8_t> a,
                    std::span<const std::uint8_t> b,
                    const bio::SubstitutionMatrix& matrix,
                    bio::GapPenalties gaps, Backend backend,
-                   std::size_t* workspace_bytes) {
+                   std::size_t* workspace_bytes, ScoreTier first_tier) {
   PairwiseAlignment edge;
   if (empty_edge_global(a.size(), b.size(), gaps, edge)) {
     if (workspace_bytes != nullptr) *workspace_bytes = 0;
     return edge.score;
   }
-  if (backend == Backend::kScalar)
-    return detail::global_score_impl<ScalarF>(a, b, matrix, gaps, 0, false,
-                                              workspace_bytes);
-  return detail::global_score_impl<VecF>(a, b, matrix, gaps, 0, false,
-                                         workspace_bytes);
+  ScoreBatch batch(a, matrix, gaps, backend, first_tier);
+  const float score = batch.score(b);
+  if (workspace_bytes != nullptr) *workspace_bytes = batch.workspace_bytes();
+  return score;
 }
 
 PairwiseAlignment global_align(std::span<const std::uint8_t> a,

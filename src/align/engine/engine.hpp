@@ -37,16 +37,36 @@ enum class Backend : std::uint8_t {
 [[nodiscard]] const char* backend_name(Backend backend);
 [[nodiscard]] int backend_lanes(Backend backend);
 
-/// Score-only global (Needleman–Wunsch/Gotoh) alignment. Allocates O(m + n)
-/// DP workspace — no traceback state of any kind. `workspace_bytes`, when
-/// non-null, receives the number of bytes of DP workspace the call allocated
-/// (tests pin the linear-memory guarantee through it).
+/// Numeric tier of a score-only pass.
+///
+/// kAuto runs the adaptive promotion ladder: start at the narrowest tier
+/// that is statically viable for the input (integral scores, open >= extend
+/// >= 1, boundary gap runs inside the rails), detect saturation at run time,
+/// and retry one tier wider — int8 -> int16 -> float. Results are
+/// bit-identical to the float reference kernels on EVERY input; forcing a
+/// tier only changes where the ladder starts, never the result (a forced
+/// tier that saturates or is statically non-viable still promotes).
+/// Striped int8 runs VecI8 lanes at a time, int16 half that
+/// (see simd_int.hpp); kFloat is PR 2's anti-diagonal float kernel.
+enum class ScoreTier : std::uint8_t { kAuto = 0, kInt8, kInt16, kFloat };
+
+[[nodiscard]] const char* tier_name(ScoreTier tier);
+
+/// Score-only global (Needleman–Wunsch/Gotoh) alignment through the tier
+/// ladder. Allocates O(m + n) DP workspace plus the striped query profile
+/// (O(alphabet * m) integers) — no traceback state of any kind.
+/// `workspace_bytes`, when non-null, receives the number of bytes of DP
+/// workspace the call allocated, striped profiles included (tests pin the
+/// linear-memory guarantee through it). To score one sequence against many,
+/// build an engine::ScoreBatch (batch.hpp) instead — it amortizes the
+/// profile across counterparts.
 [[nodiscard]] float global_score(std::span<const std::uint8_t> a,
                                  std::span<const std::uint8_t> b,
                                  const bio::SubstitutionMatrix& matrix,
                                  bio::GapPenalties gaps,
                                  Backend backend,
-                                 std::size_t* workspace_bytes = nullptr);
+                                 std::size_t* workspace_bytes = nullptr,
+                                 ScoreTier first_tier = ScoreTier::kAuto);
 
 /// Full global alignment with checkpointed traceback: the forward pass keeps
 /// every sqrt(m)-th row of the three DP state values and the traceback

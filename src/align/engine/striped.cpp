@@ -1,0 +1,410 @@
+// Striped (Farrar-layout) saturating integer score kernels.
+//
+// Equivalence with the 3-state reference recurrence: the reference keeps
+//   M(i,j) = max(M,X,Y)(i-1,j-1) + sub(i,j)
+//   X(i,j) = max(M(i,j-1) - open, X(i,j-1) - ext, Y(i,j-1) - open)
+//   Y(i,j) = max(M(i-1,j) - open, Y(i-1,j) - ext, X(i-1,j) - open)
+// and scores the corner as max(M,X,Y)(m,n). With H = max(M,X,Y) the
+// combined recurrence
+//   H = max(H(i-1,j-1) + sub, E, F)
+//   E(i,j) = max(H(i,j-1) - open, E(i,j-1) - ext)
+//   F(i,j) = max(H(i-1,j) - open, F(i-1,j) - ext)
+// expands E to max(M-open, X-open, Y-open, X-ext); when open >= ext the
+// X-open term is dominated by X-ext, leaving exactly X(i,j) (same for F
+// and Y), and H(m,n) is exactly the reference's corner max. The integer
+// kernels therefore gate on open >= ext >= 1 and integral scores; every
+// value they compute is then the exact DP integer, which a float
+// represents exactly — hence bit-identical scores.
+//
+// Saturation: values are clamped into [floor_rail, ceil_rail], with the
+// rails pulled in from the tier's limits by the largest single-step delta,
+// so no arithmetic op can ever leave the storage range. floor_rail doubles
+// as the -inf sentinel (it is sticky under "subtract then clamp"). Any
+// inexact value is clamped to exactly a rail, and becomes visible the
+// moment it wins a cell: the kernel tracks the running min/max of every
+// stored H and reports saturation when either touched a rail, at which
+// point the caller discards the score and promotes to the next tier
+// (int8 -> int16 -> float).
+//
+// Lazy-F in closed form: the main pass handles every within-lane F chain;
+// what is missing is the carry entering each lane's first row. Reopening
+// from a carry-corrected cell (H - open) is always dominated by plain carry
+// decay (H - ext, as open >= ext), so lane l's incoming carry depends only
+// on lane l-1's main-pass outgoing F and lane l-1's own incoming carry
+// decayed across its t rows:
+//   g[0] = H(0,j) - open,   g[l] = max(F_out[l-1], g[l-1] - ext*t).
+// That max-plus recurrence is a weighted prefix max, computed with
+// log2(lanes) shift-decay-max steps, followed by ONE corrected sweep that
+// applies the per-lane carries (decaying ext per row) and re-maxes the E
+// row (E feeds the next column from H). No iterative re-walking, no
+// per-iteration mask reductions.
+
+#include "align/engine/striped.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "bio/alphabet.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace salign::align::engine::detail {
+
+namespace {
+
+constexpr int kMaxMagnitude = 4096;  // sanity cap for scores and penalties
+
+/// Row-0 boundary of the combined DP: H(0,0) = 0, H(0,j) = X(0,j).
+std::int64_t boundary_h0(std::int64_t j, std::int64_t open, std::int64_t ext) {
+  return j == 0 ? 0 : -(open + ext * (j - 1));
+}
+
+/// Lane shift toward higher indices by the compile-time count, with the
+/// vacated low lanes taken from `low_fill` (a vector that is zero outside
+/// its low `kCount` lanes). Real query rows occupy the LOW lanes, so
+/// padded-lane garbage can never flow into a real lane through this shift.
+/// On SSE2 this is one byte-shift plus one OR; elsewhere a small staging
+/// buffer (also the ScalarInt path, where the shift degenerates to the
+/// fill itself).
+template <std::size_t kCount, typename VI>
+VI shift_up(VI v, VI low_fill) {
+  using Elem = typename VI::Elem;
+  constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+  if constexpr (kCount >= kW) {
+    (void)v;
+    return low_fill;
+  }
+#if defined(__SSE2__) && defined(SALIGN_HAVE_VECTOR_EXT)
+  else if constexpr (sizeof(typename VI::Native) == 16) {
+    __m128i x;
+    __builtin_memcpy(&x, &v.v, 16);
+    x = _mm_slli_si128(x, kCount * sizeof(Elem));
+    __m128i f;
+    __builtin_memcpy(&f, &low_fill.v, 16);
+    x = _mm_or_si128(x, f);
+    VI r;
+    __builtin_memcpy(&r.v, &x, 16);
+    return r;
+  }
+#endif
+  else {
+    Elem buf[2 * kW];
+    low_fill.store(buf);
+    v.store(buf + kCount);
+    return VI::load(buf);
+  }
+}
+
+/// Builds the `low_fill` companion of shift_up: value `x` in the low
+/// `count` lanes, zero elsewhere.
+template <typename VI>
+VI low_lanes(typename VI::Elem x, std::size_t count) {
+  using Elem = typename VI::Elem;
+  constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+  Elem buf[kW] = {};
+  for (std::size_t i = 0; i < count && i < kW; ++i) buf[i] = x;
+  return VI::load(buf);
+}
+
+}  // namespace
+
+IntGate scan_int_gate(const bio::SubstitutionMatrix& matrix,
+                      bio::GapPenalties gaps) {
+  IntGate g;
+  const float open_r = std::nearbyint(gaps.open);
+  const float ext_r = std::nearbyint(gaps.extend);
+  if (open_r != gaps.open || ext_r != gaps.extend) return g;
+  g.open = static_cast<int>(open_r);
+  g.ext = static_cast<int>(ext_r);
+  if (g.ext < 1 || g.open < g.ext || g.open > kMaxMagnitude) return g;
+
+  const int alpha = bio::Alphabet::get(matrix.alphabet_kind()).size();
+  for (int a = 0; a < alpha; ++a) {
+    for (int b = 0; b < alpha; ++b) {
+      const float s = matrix.score(static_cast<std::uint8_t>(a),
+                                   static_cast<std::uint8_t>(b));
+      const float r = std::nearbyint(s);
+      if (r != s || std::abs(r) > kMaxMagnitude) return g;
+      const int si = static_cast<int>(r);
+      g.max_pos = std::max(g.max_pos, si);
+      g.max_neg = std::max(g.max_neg, -si);
+    }
+  }
+  g.integral = true;
+  return g;
+}
+
+template <typename VI>
+StripedProfile<VI>::StripedProfile(std::span<const std::uint8_t> query,
+                                   const bio::SubstitutionMatrix& matrix,
+                                   const IntGate& gate)
+    : m_(query.size()), gate_(gate) {
+  using Lim = std::numeric_limits<Elem>;
+  if (!gate.integral || m_ == 0) return;
+
+  const int max_neg_step =
+      std::max({gate.open + 1, gate.ext, gate.max_neg});
+  const int max_pos_step = gate.max_pos;
+  // Rails in LOGICAL values; the trait's bias maps logical [min, max] onto
+  // its storage range.
+  const int lo = static_cast<int>(Lim::min()) - VI::kBias;
+  const int hi = static_cast<int>(Lim::max()) - VI::kBias;
+  const int floor_l = lo + max_neg_step;
+  const int ceil_l = hi - max_pos_step;
+  // The rails must leave a usable operating range around 0 (H(0,0) = 0).
+  if (floor_l >= -1 || ceil_l <= 1) return;
+  floor_ = floor_l;
+  ceil_ = ceil_l;
+
+  constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+  segs_ = (m_ + kW - 1) / kW;
+  // Query-side boundary viability: the column-0 values of the REAL rows and
+  // their derived E seeds must sit strictly above the floor rail (padded
+  // rows clamp — they are inert); viable_for() re-checks with the
+  // counterpart's length.
+  if (!StripedProfile::viable_for_impl(m_ + 1, gate_, floor_l)) return;
+
+  const auto alpha = static_cast<std::size_t>(
+      bio::Alphabet::get(matrix.alphabet_kind()).size());
+  data_.assign(alpha * segs_ * kW, VI::encode_delta(0));
+  for (std::size_t c = 0; c < alpha; ++c) {
+    Elem* out = data_.data() + c * segs_ * kW;
+    for (std::size_t l = 0; l < kW; ++l) {
+      for (std::size_t k = 0; k < segs_; ++k) {
+        const std::size_t s = l * segs_ + k;
+        if (s < m_)
+          out[k * kW + l] = VI::encode_delta(static_cast<int>(std::lround(
+              matrix.score(query[s], static_cast<std::uint8_t>(c)))));
+      }
+    }
+  }
+  viable_ = true;
+}
+
+template <typename VI>
+bool StripedProfile<VI>::viable_for(std::size_t other_len) const {
+  if (!viable_) return false;
+  return viable_for_impl(std::max(other_len, m_) + 1, gate_, floor_);
+}
+
+template <typename VI>
+bool StripedProfile<VI>::viable_for_impl(std::size_t max_len,
+                                         const IntGate& gate,
+                                         std::int64_t floor64) {
+  // Deepest boundary-adjacent value the kernel materializes exactly: a
+  // boundary gap run of max_len extends, re-opened once (the E seed /
+  // lazy-F seed), with one worst-case substitution of slack so that
+  // near-boundary interior cells do not routinely brush the rail.
+  const std::int64_t need =
+      static_cast<std::int64_t>(gate.open) +
+      std::max<std::int64_t>(gate.open, gate.max_neg) +
+      static_cast<std::int64_t>(gate.ext) *
+          static_cast<std::int64_t>(max_len);
+  return need <= -floor64 - 1;
+}
+
+template <typename VI>
+bool striped_score(const StripedProfile<VI>& profile,
+                   std::span<const std::uint8_t> other,
+                   StripedWorkspace<VI>& ws, float* score) {
+  using Elem = typename VI::Elem;
+  constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+  const std::size_t t = profile.segs();
+  const std::size_t m = profile.query_len();
+  const std::size_t n = other.size();
+  const auto open64 = static_cast<std::int64_t>(profile.gate().open);
+  const auto ext64 = static_cast<std::int64_t>(profile.gate().ext);
+  const int floor_l = profile.floor_rail();
+  const int ceil_l = profile.ceil_rail();
+  const Elem floor_enc = VI::encode(floor_l);
+  const Elem ceil_enc = VI::encode(ceil_l);
+
+  ws.ensure(t * kW);
+  Elem* h_cur = ws.h_a.data();
+  Elem* h_prev = ws.h_b.data();
+  Elem* e = ws.e.data();
+
+  // Column 0: H(i,0) = -(open + ext*(i-1)) and the first-column E seed
+  // E(i,1) = H(i,0) - open (E(i,0) = -inf never survives the max). Real
+  // rows are rail-safe by viable_for(); padded rows (i > m) clamp to just
+  // above the floor — lane shifts only move values toward HIGHER lanes and
+  // real rows occupy the low lanes, so padded values are inert and merely
+  // must not raise spurious saturation flags.
+  const auto floor64 = static_cast<std::int64_t>(floor_l);
+  for (std::size_t l = 0; l < kW; ++l) {
+    for (std::size_t k = 0; k < t; ++k) {
+      const auto i = static_cast<std::int64_t>(l * t + k) + 1;
+      const std::int64_t h =
+          std::max(-(open64 + ext64 * (i - 1)), floor64 + 1);
+      h_cur[k * kW + l] = VI::encode(static_cast<int>(h));
+      e[k * kW + l] =
+          VI::encode(static_cast<int>(std::max(h - open64, floor64)));
+    }
+  }
+
+  const VI v_floor = VI::splat(floor_enc);
+  const VI v_ceil = VI::splat(ceil_enc);
+  const VI v_open = VI::splat(VI::encode_delta(static_cast<int>(open64)));
+  const VI v_ext = VI::splat(VI::encode_delta(static_cast<int>(ext64)));
+  VI v_sat_max = v_floor;
+  VI v_sat_min = v_ceil;
+
+  // Per-pair constants of the scan: at shift distance `step` lanes the
+  // carry has decayed ext*t*step. Decays beyond the live value range floor
+  // out; the max-with-guard before subtracting keeps the subtraction inside
+  // the storage range (deltas wider than the element type wrap — harmless,
+  // the guarded operand makes the result exact). Shifted-in lanes carry the
+  // floor sentinel.
+  const std::int64_t ext_lane = ext64 * static_cast<std::int64_t>(t);
+  const int range = ceil_l - floor_l;
+  VI g_decay[6], g_guard[6], g_fill[6];
+  {
+    std::size_t s = 0;
+    for (std::size_t step = 1; step < kW; step *= 2, ++s) {
+      const int d = static_cast<int>(std::min<std::int64_t>(
+          ext_lane * static_cast<std::int64_t>(step), range));
+      g_decay[s] = VI::splat(VI::encode_delta(d));
+      g_guard[s] = VI::splat(VI::encode(floor_l + d));
+      g_fill[s] = low_lanes<VI>(floor_enc, step);
+    }
+  }
+
+  // The carry of a column is applied lazily while the NEXT column reads it
+  // (and by one final sweep after the last column): v_g holds the pending
+  // per-lane carries, v_last the carry-corrected last stripe vector of the
+  // previous column (the diagonal feed). Column 0 is exact by construction,
+  // so it starts with no pending carry.
+  VI v_g = v_floor;
+  VI v_last = VI::load(h_cur + (t - 1) * kW);
+  // Decay of a carry across t-1 rows, for correcting the last stripe right
+  // after its column's scan (same guarded-subtract scheme as the scan).
+  const int d_last = static_cast<int>(std::min<std::int64_t>(
+      ext64 * static_cast<std::int64_t>(t - 1), range));
+  const VI v_last_decay = VI::splat(VI::encode_delta(d_last));
+  const VI v_last_guard = VI::splat(VI::encode(floor_l + d_last));
+
+  for (std::size_t j = 1; j <= n; ++j) {
+    const Elem* prof = profile.row(other[j - 1]);
+    std::swap(h_cur, h_prev);
+
+    // Diagonal feed: previous column's (corrected) H shifted down one query
+    // row, with the row-0 boundary H(0, j-1) entering lane 0.
+    VI v_h = shift_up<1>(
+        v_last,
+        low_lanes<VI>(VI::encode(static_cast<int>(boundary_h0(
+                          static_cast<std::int64_t>(j) - 1, open64, ext64))),
+                      1));
+    VI v_f = v_floor;
+
+    for (std::size_t k = 0; k < t; ++k) {
+      // Apply the previous column's pending carry to the stripe being read
+      // (this is the deferred correction sweep, fused into the reload), fix
+      // the E row it feeds, and rail-check the now-final value.
+      const VI v_hp = VI::max(VI::load(h_prev + k * kW), v_g);
+      v_g = VI::max(v_g - v_ext, v_floor);
+      v_sat_max = VI::max(v_sat_max, v_hp);
+      v_sat_min = VI::min(v_sat_min, v_hp);
+      const VI v_e = VI::max(VI::load(e + k * kW), v_hp - v_open);
+      v_h = v_h + VI::load(prof + k * kW);
+      v_h = VI::max(v_h, v_e);
+      v_h = VI::max(v_h, v_f);
+      v_h = VI::min(v_h, v_ceil);
+      v_h.store(h_cur + k * kW);
+      const VI v_h_open = v_h - v_open;
+      VI v_e_next = VI::max(v_e - v_ext, v_h_open);
+      v_e_next = VI::max(v_e_next, v_floor);
+      v_e_next.store(e + k * kW);
+      v_f = VI::max(v_f - v_ext, v_h_open);
+      v_f = VI::max(v_f, v_floor);
+      v_h = v_hp;
+    }
+
+    // Cross-lane carry scan (see file comment): seed with H(0,j) - open,
+    // then log-step weighted prefix max over the lanes.
+    v_g = shift_up<1>(
+        v_f, low_lanes<VI>(
+                 VI::encode(static_cast<int>(std::max(
+                     boundary_h0(static_cast<std::int64_t>(j), open64,
+                                 ext64) -
+                         open64,
+                     floor64))),
+                 1));
+    if constexpr (kW > 1)
+      v_g = VI::max(v_g,
+                    VI::max(shift_up<1>(v_g, g_fill[0]), g_guard[0]) -
+                        g_decay[0]);
+    if constexpr (kW > 2)
+      v_g = VI::max(v_g,
+                    VI::max(shift_up<2>(v_g, g_fill[1]), g_guard[1]) -
+                        g_decay[1]);
+    if constexpr (kW > 4)
+      v_g = VI::max(v_g,
+                    VI::max(shift_up<4>(v_g, g_fill[2]), g_guard[2]) -
+                        g_decay[2]);
+    if constexpr (kW > 8)
+      v_g = VI::max(v_g,
+                    VI::max(shift_up<8>(v_g, g_fill[3]), g_guard[3]) -
+                        g_decay[3]);
+    if constexpr (kW > 16)
+      v_g = VI::max(v_g,
+                    VI::max(shift_up<16>(v_g, g_fill[4]), g_guard[4]) -
+                        g_decay[4]);
+
+    // v_g is now the pending carry of column j, applied while column j+1
+    // reads the stripes back. Only the next diagonal feed needs a corrected
+    // value right away: the last stripe, with the carry decayed t-1 rows.
+    v_last = VI::max(VI::load(h_cur + (t - 1) * kW),
+                     VI::max(v_g, v_last_guard) - v_last_decay);
+  }
+
+  // Final sweep: the last column still has its carry pending; apply it so
+  // the corner is final and its values are rail-checked.
+  for (std::size_t k = 0; k < t; ++k) {
+    VI v_h2 = VI::max(VI::load(h_cur + k * kW), v_g);
+    v_h2.store(h_cur + k * kW);
+    v_sat_max = VI::max(v_sat_max, v_h2);
+    v_sat_min = VI::min(v_sat_min, v_h2);
+    v_g = VI::max(v_g - v_ext, v_floor);
+  }
+
+  // Saturation: any stored H on a rail invalidates the run (legitimate
+  // rail-valued cells promote too — conservative, never wrong).
+  Elem seen_max = floor_enc;
+  Elem seen_min = ceil_enc;
+  for (int l = 0; l < VI::kLanes; ++l) {
+    seen_max = std::max(seen_max, v_sat_max.lane(l));
+    seen_min = std::min(seen_min, v_sat_min.lane(l));
+  }
+  if (seen_max >= ceil_enc || seen_min <= floor_enc) return false;
+
+  const std::size_t corner = m - 1;
+  *score = static_cast<float>(
+      VI::decode(h_cur[(corner % t) * kW + corner / t]));
+  return true;
+}
+
+template class StripedProfile<ScalarI8>;
+template class StripedProfile<ScalarI16>;
+template bool striped_score<ScalarI8>(const StripedProfile<ScalarI8>&,
+                                      std::span<const std::uint8_t>,
+                                      StripedWorkspace<ScalarI8>&, float*);
+template bool striped_score<ScalarI16>(const StripedProfile<ScalarI16>&,
+                                       std::span<const std::uint8_t>,
+                                       StripedWorkspace<ScalarI16>&, float*);
+
+#ifdef SALIGN_HAVE_VECTOR_EXT
+template class StripedProfile<VecI8>;
+template class StripedProfile<VecI16>;
+template bool striped_score<VecI8>(const StripedProfile<VecI8>&,
+                                   std::span<const std::uint8_t>,
+                                   StripedWorkspace<VecI8>&, float*);
+template bool striped_score<VecI16>(const StripedProfile<VecI16>&,
+                                    std::span<const std::uint8_t>,
+                                    StripedWorkspace<VecI16>&, float*);
+#endif
+
+}  // namespace salign::align::engine::detail

@@ -1,0 +1,139 @@
+#pragma once
+
+// Internal striped (Farrar) integer score kernels of the alignment engine.
+// Only batch.cpp and the tests should include this; everything else goes
+// through align/engine/batch.hpp or align/engine/engine.hpp.
+//
+// Layout: the query (the profile-side sequence, length m) is split into
+// VI::kLanes segments of length t = ceil(m / lanes); lane l of stripe
+// vector k holds query row l*t + k + 1. The DP then walks the other
+// sequence column by column with the three Gotoh states in combined form
+//   H = max(M, X, Y),  E = X (gap in query's partner),  F = Y,
+// which is exactly equal to the engine's 3-state reference recurrence
+// whenever open >= extend (see striped.cpp for the proof sketch). All
+// arithmetic is integer and therefore exact; whenever a cell would leave
+// the representable "rail" range the run is flagged as saturated and the
+// caller promotes to the next wider tier.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/engine/simd_int.hpp"
+#include "bio/substitution_matrix.hpp"
+
+namespace salign::align::engine::detail {
+
+/// Facts about one (matrix, gaps) pair that decide whether the integer
+/// tiers are usable at all, scanned once per profile build.
+struct IntGate {
+  bool integral = false;  ///< every sub score and both penalties are ints,
+                          ///< with open >= extend >= 1
+  int open = 0;
+  int ext = 0;
+  int max_pos = 1;  ///< largest positive substitution score (>= 1)
+  int max_neg = 1;  ///< largest |negative| substitution score (>= 1)
+};
+
+[[nodiscard]] IntGate scan_int_gate(const bio::SubstitutionMatrix& matrix,
+                                    bio::GapPenalties gaps);
+
+/// Lane-interleaved (striped) integer query profile plus the tier's rail
+/// bounds. `viable()` is false when the (query, matrix, gaps) combination
+/// cannot run in this element type at all; `viable_for(n)` additionally
+/// checks the counterpart-length-dependent boundary range.
+template <typename VI>
+class StripedProfile {
+ public:
+  using Elem = typename VI::Elem;
+
+  StripedProfile() = default;
+  StripedProfile(std::span<const std::uint8_t> query,
+                 const bio::SubstitutionMatrix& matrix, const IntGate& gate);
+
+  [[nodiscard]] bool viable() const { return viable_; }
+  [[nodiscard]] bool viable_for(std::size_t other_len) const;
+
+  [[nodiscard]] std::size_t query_len() const { return m_; }
+  [[nodiscard]] std::size_t segs() const { return segs_; }
+  [[nodiscard]] const Elem* row(std::uint8_t c) const {
+    return data_.data() +
+           static_cast<std::size_t>(c) * segs_ *
+               static_cast<std::size_t>(VI::kLanes);
+  }
+  [[nodiscard]] const IntGate& gate() const { return gate_; }
+  /// Rail bounds in LOGICAL values (the trait's bias maps them onto the
+  /// storage range).
+  [[nodiscard]] int floor_rail() const { return floor_; }
+  [[nodiscard]] int ceil_rail() const { return ceil_; }
+
+  /// Bytes held by the striped score table (workspace accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return data_.capacity() * sizeof(Elem);
+  }
+
+ private:
+  static bool viable_for_impl(std::size_t max_len, const IntGate& gate,
+                              std::int64_t floor64);
+
+  std::size_t m_ = 0;
+  std::size_t segs_ = 0;
+  IntGate gate_;
+  int floor_ = 0;
+  int ceil_ = 0;
+  bool viable_ = false;
+  std::vector<Elem> data_;
+};
+
+/// Reusable per-thread DP state of the striped kernels: two H columns and
+/// the E column, all in striped slot order.
+template <typename VI>
+struct StripedWorkspace {
+  std::vector<typename VI::Elem> h_a, h_b, e;
+
+  void ensure(std::size_t slots) {
+    if (h_a.size() < slots) {
+      h_a.resize(slots);
+      h_b.resize(slots);
+      e.resize(slots);
+    }
+  }
+  [[nodiscard]] std::size_t bytes() const {
+    return (h_a.capacity() + h_b.capacity() + e.capacity()) *
+           sizeof(typename VI::Elem);
+  }
+};
+
+/// Score-only striped Gotoh pass of `profile`'s query against `other`.
+/// Returns false when any cell touched a rail (the score is then invalid
+/// and the caller must promote); on true, *score is bit-identical to the
+/// float reference kernel's global score. Preconditions: profile.viable(),
+/// profile.viable_for(other.size()), both sequences non-empty.
+template <typename VI>
+[[nodiscard]] bool striped_score(const StripedProfile<VI>& profile,
+                                 std::span<const std::uint8_t> other,
+                                 StripedWorkspace<VI>& ws, float* score);
+
+extern template class StripedProfile<ScalarI8>;
+extern template class StripedProfile<ScalarI16>;
+extern template bool striped_score<ScalarI8>(const StripedProfile<ScalarI8>&,
+                                             std::span<const std::uint8_t>,
+                                             StripedWorkspace<ScalarI8>&,
+                                             float*);
+extern template bool striped_score<ScalarI16>(const StripedProfile<ScalarI16>&,
+                                              std::span<const std::uint8_t>,
+                                              StripedWorkspace<ScalarI16>&,
+                                              float*);
+
+#ifdef SALIGN_HAVE_VECTOR_EXT
+extern template class StripedProfile<VecI8>;
+extern template class StripedProfile<VecI16>;
+extern template bool striped_score<VecI8>(const StripedProfile<VecI8>&,
+                                          std::span<const std::uint8_t>,
+                                          StripedWorkspace<VecI8>&, float*);
+extern template bool striped_score<VecI16>(const StripedProfile<VecI16>&,
+                                           std::span<const std::uint8_t>,
+                                           StripedWorkspace<VecI16>&, float*);
+#endif
+
+}  // namespace salign::align::engine::detail

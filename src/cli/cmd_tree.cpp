@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "align/distance.hpp"
-#include "align/global.hpp"
 #include "bio/fasta.hpp"
 #include "bio/substitution_matrix.hpp"
 #include "cli/arg_parser.hpp"
@@ -29,31 +28,17 @@ ArgParser make_parser() {
            "tree construction: upgma (MUSCLE-style) or nj "
            "(neighbor-joining, CLUSTALW-style)");
   p.option("dist", "name", "kmer",
-           "distance source: kmer (alignment-free, fast) or kimura "
-           "(all-pairs global alignments, O(N^2 L^2))");
+           "distance source: kmer (alignment-free, fast), kimura "
+           "(all-pairs global alignments, O(N^2 L^2)), or score "
+           "(striped-integer score-only alignments — kimura accuracy "
+           "class without tracebacks)");
   p.option("k", "len", "0",
            "k-mer length for --dist kmer (0 = library default)");
+  p.option("threads", "n", "1",
+           "worker threads of the kimura/score distance pass");
   p.option("out", "file", "", "write the Newick string here instead of stdout");
   p.flag("weights", "also print CLUSTALW-style leaf weights");
   return p;
-}
-
-util::SymmetricMatrix<double> kimura_matrix(
-    std::span<const bio::Sequence> seqs) {
-  const bio::SubstitutionMatrix& m = bio::SubstitutionMatrix::blosum62();
-  const bio::GapPenalties gaps = m.default_gaps();
-  util::SymmetricMatrix<double> d(seqs.size());
-  for (std::size_t i = 0; i < seqs.size(); ++i) {
-    d(i, i) = 0.0;
-    for (std::size_t j = 0; j < i; ++j) {
-      const align::PairwiseAlignment pw =
-          align::global_align(seqs[i].codes(), seqs[j].codes(), m, gaps);
-      d(i, j) = align::kimura_distance(
-          align::fractional_identity(seqs[i].codes(), seqs[j].codes(),
-                                     pw.ops));
-    }
-  }
-  return d;
 }
 
 }  // namespace
@@ -72,8 +57,10 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
     if (method != "upgma" && method != "nj")
       throw UsageError("--method must be upgma or nj");
     const std::string dist = p.get("dist");
-    if (dist != "kmer" && dist != "kimura")
-      throw UsageError("--dist must be kmer or kimura");
+    if (dist != "kmer" && dist != "kimura" && dist != "score")
+      throw UsageError("--dist must be kmer, kimura or score");
+    const auto threads =
+        static_cast<unsigned>(p.get_int("threads", 1, 1024));
 
     const std::vector<bio::Sequence> seqs = bio::read_fasta_file(p.get("in"));
     if (seqs.size() < 2)
@@ -86,7 +73,17 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
       if (k > 0) kp.k = k;
       d = kmer::distance_matrix(seqs, kp);
     } else {
-      d = kimura_matrix(seqs);
+      const bio::SubstitutionMatrix& m = bio::SubstitutionMatrix::blosum62();
+      const bio::GapPenalties gaps = m.default_gaps();
+      if (dist == "score") {
+        align::ScoreDistanceOptions sdo;
+        sdo.threads = threads;
+        d = align::score_distance_matrix(seqs, m, gaps, sdo);
+      } else {
+        align::PairDistanceOptions pdo;
+        pdo.threads = threads;
+        d = align::alignment_distance_matrix(seqs, m, gaps, pdo);
+      }
     }
 
     const msa::GuideTree tree = method == "upgma"

@@ -8,10 +8,72 @@ namespace salign::kmer {
 
 namespace {
 
-/// Dense count tables are used while the packed k-mer space fits in this
-/// many slots (256 Ki ids = 1 MiB of scratch); larger spaces (e.g.
-/// uncompressed amino acids with k >= 4) fall back to sort-and-group.
+/// One-level dense count tables are used while the packed k-mer space fits
+/// in this many slots (256 Ki ids = 1 MiB of scratch).
 constexpr std::uint64_t kDenseTableLimit = 1ULL << 18;
+
+/// Larger spaces count through a two-level table: a top-level directory of
+/// block handles over lazily-assigned blocks of 2^kBlockBits counts. Only
+/// blocks that actually receive a k-mer are allocated (at most one per
+/// window), so uncompressed amino-acid spaces up to 2^32 ids cost a few
+/// megabytes of persistent directory plus O(windows) block scratch instead
+/// of the sort fallback's O(W log W) time.
+constexpr int kBlockBits = 12;  // 4096 counts (16 KiB) per block
+
+/// Two-level scratch: persists thread-locally across calls like the
+/// one-level table; only touched slots/blocks are reset between calls.
+struct TwoLevelTable {
+  std::vector<std::uint32_t> block_of;  // directory: 0 = unassigned
+  std::vector<std::uint32_t> counts;    // block pool, grown on demand
+  std::uint32_t used_blocks = 0;
+
+  void count(std::span<const std::uint32_t> ids,
+             std::vector<std::uint32_t>& touched, std::uint64_t space) {
+    const std::size_t dirs =
+        static_cast<std::size_t>((space + (1ULL << kBlockBits) - 1) >>
+                                 kBlockBits);
+    if (block_of.size() < dirs) block_of.resize(dirs, 0);
+    for (const std::uint32_t id : ids) {
+      const std::uint32_t dir = id >> kBlockBits;
+      std::uint32_t blk = block_of[dir];
+      if (blk == 0) {
+        blk = ++used_blocks;  // handle 0 stays "unassigned"
+        block_of[dir] = blk;
+        const std::size_t need = static_cast<std::size_t>(blk)
+                                 << kBlockBits;
+        if (counts.size() < need) counts.resize(need, 0);
+      }
+      std::uint32_t& slot =
+          counts[(static_cast<std::size_t>(blk - 1) << kBlockBits) +
+                 (id & ((1U << kBlockBits) - 1))];
+      if (slot == 0) touched.push_back(id);
+      ++slot;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t take(std::uint32_t id) {
+    const std::uint32_t blk = block_of[id >> kBlockBits];
+    std::uint32_t& slot =
+        counts[(static_cast<std::size_t>(blk - 1) << kBlockBits) +
+               (id & ((1U << kBlockBits) - 1))];
+    const std::uint32_t c = slot;
+    slot = 0;
+    return c;
+  }
+
+  void reset_blocks(std::span<const std::uint32_t> touched) {
+    for (const std::uint32_t id : touched) block_of[id >> kBlockBits] = 0;
+    used_blocks = 0;
+    // The pool persists thread-locally for reuse, but a pathological call
+    // (every window in its own block) must not pin tens of megabytes for
+    // the thread's lifetime: release outsized pools.
+    constexpr std::size_t kMaxRetainedCounts = 1U << 20;  // 4 MiB
+    if (counts.size() > kMaxRetainedCounts) {
+      counts.clear();
+      counts.shrink_to_fit();
+    }
+  }
+};
 
 }  // namespace
 
@@ -21,7 +83,8 @@ int packed_kmer_bits(const bio::Alphabet& alpha) {
 }
 
 KmerProfile KmerProfile::from_sequence(const bio::Sequence& seq,
-                                      const KmerParams& params) {
+                                      const KmerParams& params,
+                                      KmerCountMode mode) {
   if (params.k <= 0) throw std::invalid_argument("KmerParams.k must be > 0");
   const bool compress = params.compressed &&
                         seq.alphabet_kind() == bio::AlphabetKind::AminoAcid;
@@ -89,10 +152,17 @@ KmerProfile KmerProfile::from_sequence(const bio::Sequence& seq,
     }
     if (++run >= k) ids.push_back(static_cast<std::uint32_t>(id));
   }
-  if (space <= kDenseTableLimit) {
-    // Dense counting: O(windows) with one table slot per possible id. The
-    // scratch table persists across calls and only touched slots are
-    // cleared, so building a whole set's profiles stays allocation-free.
+  // Scratch of a two-level count run is bounded by one 16 KiB block per
+  // window; past this many windows on a huge id space the sort fallback is
+  // the safer memory/time trade (only reachable for multi-thousand-residue
+  // sequences on uncompressed amino alphabets with large k).
+  constexpr std::size_t kTwoLevelWindowCap = 2048;
+
+  if (space <= kDenseTableLimit && mode != KmerCountMode::kSort) {
+    // One-level dense counting: O(windows) with one table slot per possible
+    // id. The scratch table persists across calls and only touched slots
+    // are cleared, so building a whole set's profiles stays
+    // allocation-free.
     thread_local std::vector<std::uint32_t> table;
     if (table.size() < space) table.resize(space, 0);
     std::vector<std::uint32_t> touched;
@@ -107,6 +177,20 @@ KmerProfile KmerProfile::from_sequence(const bio::Sequence& seq,
       p.counts_.emplace_back(v, table[v]);
       table[v] = 0;
     }
+  } else if (mode == KmerCountMode::kDense ||
+             (mode == KmerCountMode::kAuto &&
+              ids.size() <= kTwoLevelWindowCap)) {
+    // Two-level dense counting for the big spaces (uncompressed amino
+    // k >= 4): directory + lazily-assigned count blocks, still O(windows).
+    thread_local TwoLevelTable table;
+    std::vector<std::uint32_t> touched;
+    touched.reserve(ids.size());
+    table.count(ids, touched, space);
+    std::sort(touched.begin(), touched.end());
+    p.counts_.reserve(touched.size());
+    for (const std::uint32_t v : touched)
+      p.counts_.emplace_back(v, table.take(v));
+    table.reset_blocks(touched);
   } else {
     std::sort(ids.begin(), ids.end());
     for (std::size_t i = 0; i < ids.size();) {

@@ -29,6 +29,12 @@ struct KmerParams {
 /// into a dense table instead of being sorted.
 [[nodiscard]] int packed_kmer_bits(const bio::Alphabet& alpha);
 
+/// How from_sequence turns the rolled k-mer id stream into sorted counts.
+/// kAuto picks kDense (one-level table for small id spaces, a two-level
+/// lazily-allocated block table for large ones); kSort is the O(W log W)
+/// sort-and-group fallback retained as the differential-testing oracle.
+enum class KmerCountMode : std::uint8_t { kAuto, kDense, kSort };
+
 /// Sparse k-mer count vector of one sequence: sorted (kmer-id, count) pairs
 /// over bit-packed ids (see packed_kmer_bits).
 ///
@@ -41,7 +47,8 @@ class KmerProfile {
   KmerProfile() = default;
 
   static KmerProfile from_sequence(const bio::Sequence& seq,
-                                   const KmerParams& params);
+                                   const KmerParams& params,
+                                   KmerCountMode mode = KmerCountMode::kAuto);
 
   /// Fraction of common k-mers r(x, y) in [0, 1]. Sequences shorter than k
   /// yield 0 (no shared k-mer evidence).

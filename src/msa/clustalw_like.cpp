@@ -3,9 +3,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
-#include "align/banded.hpp"
 #include "align/distance.hpp"
-#include "align/global.hpp"
 #include "msa/guide_tree.hpp"
 #include "msa/progressive.hpp"
 #include "util/matrix.hpp"
@@ -24,22 +22,17 @@ Alignment ClustalWAligner::align(std::span<const bio::Sequence> seqs) const {
   const std::size_t n = seqs.size();
   const bio::GapPenalties gaps = matrix_->default_gaps();
 
-  // Stage 1: all-pairs alignment distances.
-  util::SymmetricMatrix<double> d(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    d(i, i) = 0.0;
-    for (std::size_t j = 0; j < i; ++j) {
-      const align::PairwiseAlignment pw =
-          options_.pairwise_band > 0
-              ? align::banded_global_align(seqs[i].codes(), seqs[j].codes(),
-                                           *matrix_, gaps,
-                                           options_.pairwise_band)
-              : align::global_align(seqs[i].codes(), seqs[j].codes(),
-                                    *matrix_, gaps);
-      const double identity =
-          align::fractional_identity(seqs[i].codes(), seqs[j].codes(), pw.ops);
-      d(i, j) = align::kimura_distance(identity);
-    }
+  // Stage 1: all-pairs distances through the batched drivers.
+  util::SymmetricMatrix<double> d(0);
+  if (options_.distance == ClustalWOptions::Distance::kScore) {
+    align::ScoreDistanceOptions sdo;
+    sdo.threads = options_.threads;
+    d = align::score_distance_matrix(seqs, *matrix_, gaps, sdo);
+  } else {
+    align::PairDistanceOptions pdo;
+    pdo.band = options_.pairwise_band;
+    pdo.threads = options_.threads;
+    d = align::alignment_distance_matrix(seqs, *matrix_, gaps, pdo);
   }
 
   // Stage 2 + 3: NJ tree and branch-proportional weights.

@@ -11,6 +11,21 @@ struct ClustalWOptions {
   /// A modest band accelerates the N^2 pairwise stage with negligible
   /// distance error on homologous inputs.
   std::size_t pairwise_band = 0;
+  /// Worker threads of the stage-1 distance matrix (1 = serial). Any value
+  /// produces bit-identical alignments — the pass is deterministic.
+  unsigned threads = 1;
+  /// Distance source of the guide tree.
+  enum class Distance : std::uint8_t {
+    /// Classic CLUSTALW: full pairwise alignments -> fractional identity ->
+    /// Kimura correction. The default; matches the historical output
+    /// exactly.
+    kKimura,
+    /// Score-only distances through the striped integer engine
+    /// (align::score_distance_matrix): no tracebacks, one query profile
+    /// per row — several times faster, slightly different guide trees.
+    kScore,
+  };
+  Distance distance = Distance::kKimura;
 };
 
 /// "MiniClustal": a from-scratch CLUSTALW-style progressive aligner

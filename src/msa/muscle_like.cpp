@@ -15,28 +15,27 @@ namespace {
 
 /// Kimura distances from the identities induced by an existing alignment —
 /// much cheaper than re-aligning pairs, and exactly MUSCLE's stage-2 trick.
-util::SymmetricMatrix<double> induced_kimura_distances(const Alignment& aln) {
-  const std::size_t n = aln.num_rows();
-  util::SymmetricMatrix<double> d(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    d(i, i) = 0.0;
-    const auto& a = aln.row(i).cells;
-    for (std::size_t j = 0; j < i; ++j) {
-      const auto& b = aln.row(j).cells;
-      std::size_t cols = 0;
-      std::size_t matches = 0;
-      for (std::size_t c = 0; c < a.size(); ++c) {
-        if (a[c] == Alignment::kGap || b[c] == Alignment::kGap) continue;
-        ++cols;
-        if (a[c] == b[c]) ++matches;
-      }
-      const double identity =
-          cols == 0 ? 0.0
-                    : static_cast<double>(matches) / static_cast<double>(cols);
-      d(i, j) = align::kimura_distance(identity);
-    }
-  }
-  return d;
+/// An O(N^2 L) distance-matrix pass, so it rides the threaded all-pairs
+/// driver (bit-identical output for any thread count).
+util::SymmetricMatrix<double> induced_kimura_distances(const Alignment& aln,
+                                                       unsigned threads) {
+  return align::pairwise_distance_matrix(
+      aln.num_rows(), threads, [&](std::size_t i, std::size_t j) {
+        const auto& a = aln.row(i).cells;
+        const auto& b = aln.row(j).cells;
+        std::size_t cols = 0;
+        std::size_t matches = 0;
+        for (std::size_t c = 0; c < a.size(); ++c) {
+          if (a[c] == Alignment::kGap || b[c] == Alignment::kGap) continue;
+          ++cols;
+          if (a[c] == b[c]) ++matches;
+        }
+        const double identity =
+            cols == 0
+                ? 0.0
+                : static_cast<double>(matches) / static_cast<double>(cols);
+        return align::kimura_distance(identity);
+      });
 }
 
 /// Restores input order: progressive emits rows in tree leaf order.
@@ -100,7 +99,8 @@ Alignment MuscleAligner::align(std::span<const bio::Sequence> seqs) const {
   // re-aligned.
   if (options_.reestimate_tree) {
     aln = reorder_to_input(aln, seqs);
-    const util::SymmetricMatrix<double> kim = induced_kimura_distances(aln);
+    const util::SymmetricMatrix<double> kim =
+        induced_kimura_distances(aln, options_.threads);
     tree = GuideTree::upgma(kim);
     po.weights = tree.leaf_weights();
     aln = progressive_align(seqs, tree, *matrix_, po);

@@ -17,6 +17,9 @@ struct MuscleOptions {
   /// The paper's large-N timings quote MUSCLE "without refinement", so the
   /// pipeline default keeps this at 0 and the quality benches turn it on.
   int refine_passes = 0;
+  /// Worker threads of the stage-2 induced-Kimura distance matrix
+  /// (1 = serial). Any value produces bit-identical alignments.
+  unsigned threads = 1;
 };
 
 /// "MiniMuscle": a from-scratch reimplementation of the MUSCLE pipeline

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "align/distance.hpp"
 #include "msa/guide_tree.hpp"
 #include "msa/profile_align.hpp"
 #include "util/matrix.hpp"
@@ -209,18 +210,20 @@ Alignment ProbConsAligner::align(std::span<const Sequence> seqs) const {
   const std::size_t n = seqs.size();
   const PairHmm hmm(*matrix_, options_.hmm);
 
-  // Stage 1: pairwise posteriors (and expected-accuracy distances).
+  // Stage 1: pairwise posteriors (and expected-accuracy distances) — the
+  // heavy O(N^2 L^2) distance pass, threaded through the shared all-pairs
+  // driver. Every pair writes only its own (preallocated) posterior slots
+  // and distance cell, so the result is bit-identical for any thread
+  // count.
   PosteriorTable post(n);
-  util::SymmetricMatrix<double> dist(n, 0.0);
-  for (std::size_t x = 0; x < n; ++x) {
-    for (std::size_t y = x + 1; y < n; ++y) {
-      SparsePosterior p = hmm.posterior(seqs[x], seqs[y]);
-      const MeaResult mea = PairHmm::mea_align(p);
-      dist(x, y) = 1.0 - mea.expected_accuracy;
-      post.at(y, x) = p.transposed();
-      post.at(x, y) = std::move(p);
-    }
-  }
+  const util::SymmetricMatrix<double> dist = align::pairwise_distance_matrix(
+      n, options_.threads, [&](std::size_t y, std::size_t x) {  // x < y
+        SparsePosterior p = hmm.posterior(seqs[x], seqs[y]);
+        const MeaResult mea = PairHmm::mea_align(p);
+        post.at(y, x) = p.transposed();
+        post.at(x, y) = std::move(p);
+        return 1.0 - mea.expected_accuracy;
+      });
 
   // Stage 2: guide tree from expected-accuracy distances.
   const GuideTree tree = GuideTree::upgma(dist);

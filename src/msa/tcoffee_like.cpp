@@ -6,8 +6,6 @@
 #include <vector>
 
 #include "align/distance.hpp"
-#include "align/global.hpp"
-#include "align/local.hpp"
 #include "msa/guide_tree.hpp"
 #include "msa/profile.hpp"
 #include "msa/profile_align.hpp"
@@ -128,30 +126,25 @@ Alignment TCoffeeAligner::align(std::span<const bio::Sequence> seqs) const {
   const std::size_t n = seqs.size();
   const bio::GapPenalties gaps = matrix_->default_gaps();
 
-  // 1. Primary library + pairwise distances for the guide tree.
+  // 1. Primary library + pairwise distances for the guide tree, through
+  // the batched all-pairs driver: pair alignments compute in parallel, the
+  // library is assembled by the serial visitor in deterministic pair order
+  // (identical to the historical nested loop).
   Library primary(n);
   for (std::size_t i = 0; i < n; ++i) primary[i].resize(seqs[i].size());
-  util::SymmetricMatrix<double> dist(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    dist(i, i) = 0.0;
-    for (std::size_t j = 0; j < i; ++j) {
-      const align::PairwiseAlignment pw =
-          align::global_align(seqs[i].codes(), seqs[j].codes(), *matrix_, gaps);
-      add_pair_alignment(primary, i, j, seqs[i].codes(), seqs[j].codes(),
-                         pw.ops, 0, 0);
-      const double identity = align::fractional_identity(
-          seqs[i].codes(), seqs[j].codes(), pw.ops);
-      dist(i, j) = align::kimura_distance(identity);
-
-      if (options_.add_local_library) {
-        const align::LocalAlignment loc = align::local_align(
-            seqs[i].codes(), seqs[j].codes(), *matrix_, gaps);
-        if (!loc.ops.empty())
+  align::PairDistanceOptions pdo;
+  pdo.threads = options_.threads;
+  pdo.with_local = options_.add_local_library;
+  const util::SymmetricMatrix<double> dist = align::alignment_distance_matrix(
+      seqs, *matrix_, gaps, pdo,
+      [&](std::size_t i, std::size_t j, const align::PairAlignments& pair) {
+        add_pair_alignment(primary, i, j, seqs[i].codes(), seqs[j].codes(),
+                           pair.global.ops, 0, 0);
+        if (options_.add_local_library && !pair.local.ops.empty())
           add_pair_alignment(primary, i, j, seqs[i].codes(), seqs[j].codes(),
-                             loc.ops, loc.a_begin, loc.b_begin);
-      }
-    }
-  }
+                             pair.local.ops, pair.local.a_begin,
+                             pair.local.b_begin);
+      });
 
   // 2. Extension.
   const Library ext = extend_library(primary);

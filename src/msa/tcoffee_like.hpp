@@ -20,6 +20,10 @@ struct TCoffeeOptions {
   /// 0-100 identity-weighted scores.
   float gap_open = 50.0F;
   float gap_extend = 1.0F;
+  /// Worker threads of the stage-1 pairwise library/distance pass
+  /// (1 = serial). The library is assembled serially in deterministic pair
+  /// order, so any value produces bit-identical alignments.
+  unsigned threads = 1;
 };
 
 /// "MiniCoffee": a from-scratch consistency-based aligner following

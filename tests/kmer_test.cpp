@@ -83,6 +83,61 @@ TEST(KmerProfile, LargeKBeyondBitPackingStillCounts) {
   EXPECT_DOUBLE_EQ(p.similarity(p), 1.0);
 }
 
+TEST(KmerProfile, TwoLevelDenseMatchesSortFallback) {
+  // Uncompressed amino k >= 4 blows past the one-level dense limit (2^20,
+  // 2^25, and the 21^7 base-N space): counting now goes through the
+  // two-level block table. Differential against the retained
+  // sort-and-group oracle, wildcards included.
+  util::Rng rng(0xAB);
+  const bio::Alphabet& amino = bio::Alphabet::amino_acid();
+  for (int k : {4, 5, 7}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::size_t len = 1 + rng.below(400);
+      std::vector<std::uint8_t> codes(len);
+      for (auto& c : codes)
+        c = static_cast<std::uint8_t>(
+            rng.below(static_cast<std::uint64_t>(amino.size())));  // incl X
+      const Sequence s("s", codes, bio::AlphabetKind::AminoAcid);
+
+      const KmerProfile dense =
+          KmerProfile::from_sequence(s, uncompressed(k), KmerCountMode::kDense);
+      const KmerProfile sorted =
+          KmerProfile::from_sequence(s, uncompressed(k), KmerCountMode::kSort);
+      const KmerProfile automatic =
+          KmerProfile::from_sequence(s, uncompressed(k));
+      ASSERT_EQ(dense.distinct(), sorted.distinct())
+          << "k=" << k << " trial " << trial;
+      for (std::size_t i = 0; i < dense.counts().size(); ++i) {
+        ASSERT_EQ(dense.counts()[i], sorted.counts()[i])
+            << "k=" << k << " trial " << trial << " entry " << i;
+        ASSERT_EQ(automatic.counts()[i], sorted.counts()[i])
+            << "k=" << k << " trial " << trial << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(KmerProfile, TwoLevelScratchSurvivesReuse) {
+  // The two-level scratch persists thread-locally; repeated builds with
+  // different sequences must not leak counts between calls.
+  util::Rng rng(0xAC);
+  const bio::Alphabet& amino = bio::Alphabet::amino_acid();
+  for (int round = 0; round < 12; ++round) {
+    std::vector<std::uint8_t> codes(64 + rng.below(128));
+    for (auto& c : codes)
+      c = static_cast<std::uint8_t>(
+          rng.below(static_cast<std::uint64_t>(amino.letters())));
+    const Sequence s("s", codes, bio::AlphabetKind::AminoAcid);
+    const KmerProfile dense =
+        KmerProfile::from_sequence(s, uncompressed(5), KmerCountMode::kDense);
+    const KmerProfile sorted =
+        KmerProfile::from_sequence(s, uncompressed(5), KmerCountMode::kSort);
+    ASSERT_EQ(dense.distinct(), sorted.distinct()) << "round " << round;
+    for (std::size_t i = 0; i < dense.counts().size(); ++i)
+      ASSERT_EQ(dense.counts()[i], sorted.counts()[i]) << "round " << round;
+  }
+}
+
 TEST(KmerProfile, MismatchedKThrows) {
   const Sequence s("s", "ACDEF");
   const KmerProfile p2 = KmerProfile::from_sequence(s, uncompressed(2));

@@ -207,6 +207,66 @@ TEST(MafftAligner, FftAndNwAgreeOnSimilarFamilies) {
   EXPECT_NEAR(q_nw, q_fft, 0.1);
 }
 
+// ---- threaded distance passes --------------------------------------------------
+
+void expect_same_alignment(const Alignment& want, const Alignment& got,
+                           const char* label) {
+  ASSERT_EQ(want.num_rows(), got.num_rows()) << label;
+  ASSERT_EQ(want.num_cols(), got.num_cols()) << label;
+  for (std::size_t r = 0; r < want.num_rows(); ++r) {
+    EXPECT_EQ(want.row(r).id, got.row(r).id) << label << " row " << r;
+    EXPECT_EQ(want.row(r).cells, got.row(r).cells) << label << " row " << r;
+  }
+}
+
+// The distance-matrix passes of every aligner now run through the threaded
+// drivers; any thread count must reproduce the serial output bit for bit.
+TEST(AlignerDeterminism, ThreadedDistancePassesAreBitIdentical) {
+  const auto seqs = family(10, 60, 900, 7);
+  {
+    ClustalWOptions serial;
+    ClustalWOptions threaded;
+    threaded.threads = 4;
+    expect_same_alignment(ClustalWAligner(serial).align(seqs),
+                          ClustalWAligner(threaded).align(seqs), "clustalw");
+  }
+  {
+    TCoffeeOptions serial;
+    TCoffeeOptions threaded;
+    threaded.threads = 4;
+    expect_same_alignment(TCoffeeAligner(serial).align(seqs),
+                          TCoffeeAligner(threaded).align(seqs), "tcoffee");
+  }
+  {
+    MuscleOptions serial;
+    MuscleOptions threaded;
+    threaded.threads = 4;
+    expect_same_alignment(MuscleAligner(serial).align(seqs),
+                          MuscleAligner(threaded).align(seqs), "muscle");
+  }
+  {
+    const auto small = family(7, 40, 900, 9);
+    ProbConsOptions serial;
+    ProbConsOptions threaded;
+    threaded.threads = 4;
+    expect_same_alignment(ProbConsAligner(serial).align(small),
+                          ProbConsAligner(threaded).align(small), "probcons");
+  }
+}
+
+// The score-distance guide-tree mode is a different (faster) distance
+// source: it must still produce a valid alignment of every input row.
+TEST(ClustalWAligner, ScoreDistanceModeAlignsValidly) {
+  const auto seqs = family(8, 70, 800, 11);
+  ClustalWOptions opt;
+  opt.distance = ClustalWOptions::Distance::kScore;
+  opt.threads = 2;
+  const Alignment aln = ClustalWAligner(opt).align(seqs);
+  EXPECT_EQ(aln.num_rows(), seqs.size());
+  for (std::size_t r = 0; r < aln.num_rows(); ++r)
+    EXPECT_EQ(aln.row(r).id, seqs[r].id());
+}
+
 TEST(AlignerQuality, ConsistencyHelpsOnDivergentFamilies) {
   // Sanity echo of the paper's Table 2 ordering tendency: on harder sets,
   // T-Coffee should be at least competitive with plain progressive
