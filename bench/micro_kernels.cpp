@@ -24,8 +24,10 @@
 #include "msa/muscle_like.hpp"
 #include "msa/profile.hpp"
 #include "msa/profile_align.hpp"
+#include "msa/progressive.hpp"
 #include "par/cluster.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 #include "workload/rose.hpp"
 
 namespace {
@@ -244,6 +246,85 @@ void BM_LocalAlign(benchmark::State& state) {
   set_cells_per_second(state, seqs[0].codes().size() * seqs[1].codes().size());
 }
 BENCHMARK(BM_LocalAlign)->Arg(100)->Arg(300);
+
+// ---- PSP profile-DP kernel (vectorized wavefront vs scalar reference) ----------
+//
+// Two ~L-column profiles from rose halves, full DP. BM_ProfileDp runs the
+// blocked anti-diagonal wavefront kernel (the default), BM_ProfileDpScalar
+// the retained row-major reference — the pair makes the kernel speedup part
+// of every baseline, like the engine's vector/scalar benches above.
+
+void profile_dp_bench(benchmark::State& state,
+                      align::engine::Backend backend) {
+  const auto seqs = seqs_cache(16, static_cast<std::size_t>(state.range(0)));
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const std::size_t half = seqs.size() / 2;
+  const msa::MuscleAligner aligner;
+  const msa::Alignment left =
+      aligner.align(std::span<const bio::Sequence>(seqs.data(), half));
+  const msa::Alignment right = aligner.align(
+      std::span<const bio::Sequence>(seqs.data() + half, seqs.size() - half));
+  const msa::Profile pl(left, m);
+  const msa::Profile pr(right, m);
+  msa::ProfileAlignOptions po;
+  po.gaps = m.default_gaps();
+  po.backend = backend;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(msa::align_profiles(pl, pr, po));
+  set_cells_per_second(state, pl.num_cols() * pr.num_cols());
+}
+void BM_ProfileDp(benchmark::State& state) {
+  profile_dp_bench(state, align::engine::Backend::kVector);
+}
+BENCHMARK(BM_ProfileDp)->Arg(400)->Arg(1000);
+void BM_ProfileDpScalar(benchmark::State& state) {
+  profile_dp_bench(state, align::engine::Backend::kScalar);
+}
+BENCHMARK(BM_ProfileDpScalar)->Arg(400)->Arg(1000);
+
+// ---- task-parallel progressive alignment ---------------------------------------
+//
+// One guide-tree progressive pass over a 256-sequence rose family, at 1 and
+// 4 workers. cells_per_second is computed against wall time measured here
+// (google-benchmark rate counters divide by the bench thread's CPU time,
+// which is blind to pool workers), so the /1-vs-/4 ratio in the committed
+// baselines IS the task-scheduler speedup. The merge cell count comes from
+// a one-off instrumented pass through the band-provider hook.
+
+void BM_ProgressiveAlign(benchmark::State& state) {
+  const auto seqs = seqs_cache(256, 200);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const msa::GuideTree tree =
+      msa::GuideTree::upgma(kmer::distance_matrix(seqs, {}));
+  msa::ProgressiveOptions po;
+  po.gaps = m.default_gaps();
+  po.weights = tree.leaf_weights();
+
+  static std::size_t cells = 0;  // same tree every arg: count once
+  if (cells == 0) {
+    msa::ProgressiveOptions counting = po;
+    counting.band_provider = [](const msa::Alignment& a,
+                                const msa::Alignment& b) {
+      cells += a.num_cols() * b.num_cols();
+      return std::size_t{0};
+    };
+    (void)msa::progressive_align(seqs, tree, m, counting);
+  }
+
+  po.threads = static_cast<unsigned>(state.range(0));
+  double wall = 0.0;
+  for (auto _ : state) {
+    const util::Stopwatch watch;
+    benchmark::DoNotOptimize(msa::progressive_align(seqs, tree, m, po));
+    wall += watch.seconds();
+  }
+  state.counters["cells_per_second"] =
+      wall > 0.0 ? static_cast<double>(state.iterations() * cells) / wall
+                 : 0.0;
+  state.counters["threads"] = static_cast<double>(po.threads);
+}
+BENCHMARK(BM_ProgressiveAlign)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ProfileAlign(benchmark::State& state) {
   const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 200);

@@ -61,13 +61,15 @@ string(TIMESTAMP now UTC)
 # Pull every benchmark's cells_per_second counter (added by the alignment
 # engine benches) into a flat summary so perf PRs can diff kernel throughput
 # without walking the full google-benchmark JSON.
+# The name class admits ':' and '.' for suffixed benchmark names like
+# BM_ProgressiveAlign/4/real_time or future threads:N arg labels.
 set(kernel_entries "")
 string(REGEX MATCHALL
-  "\"name\": \"([A-Za-z0-9_/]+)\",[^}]*\"cells_per_second\": ([0-9.e+-]+)"
+  "\"name\": \"([A-Za-z0-9_/:.]+)\",[^}]*\"cells_per_second\": ([0-9.e+-]+)"
   kernel_lines "${micro_content}")
 foreach(line IN LISTS kernel_lines)
   string(REGEX REPLACE
-    "\"name\": \"([A-Za-z0-9_/]+)\",[^}]*\"cells_per_second\": ([0-9.e+-]+)"
+    "\"name\": \"([A-Za-z0-9_/:.]+)\",[^}]*\"cells_per_second\": ([0-9.e+-]+)"
     "{\"name\": \"\\1\", \"cells_per_second\": \\2}"
     entry "${line}")
   list(APPEND kernel_entries "${entry}")

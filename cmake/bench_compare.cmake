@@ -1,8 +1,16 @@
 # Compares the kernel_cells_per_second summary of a freshly produced
 # BENCH_baseline.json against the committed per-PR baseline and WARNS (never
 # fails) on regressions beyond the threshold — CI runners are noisy, so this
-# is a tripwire for reviewers, not a gate. Invoked as:
-#   cmake -DBASELINE=BENCH_pr3.json -DCURRENT=build/BENCH_baseline.json
+# is a tripwire for reviewers, not a gate. Every benchmark that exports a
+# cells_per_second counter is covered automatically (the pairwise/striped
+# engine kernels, the distance-matrix drivers, and since PR 4 the
+# profile-DP kernels BM_ProfileDp* and the task-parallel progressive pass
+# BM_ProgressiveAlign/<threads> — whose counter is measured against wall
+# time, so the 1-vs-4-thread entries carry the scheduler speedup). A kernel
+# present in the committed baseline but absent from the current run also
+# warns: a silently dropped or renamed bench must not pass as green.
+# Invoked as:
+#   cmake -DBASELINE=BENCH_pr4.json -DCURRENT=build/BENCH_baseline.json
 #         [-DTHRESHOLD_PERCENT=80] -P cmake/bench_compare.cmake
 
 if(NOT BASELINE OR NOT CURRENT)
@@ -55,11 +63,13 @@ file(READ "${CURRENT}" current_json)
 string(JSON base_entries GET "${baseline_json}" kernel_cells_per_second entries)
 string(JSON base_len LENGTH "${base_entries}")
 math(EXPR base_last "${base_len} - 1")
+set(base_names "")
 foreach(i RANGE 0 ${base_last})
   string(JSON name GET "${base_entries}" ${i} name)
   string(JSON cps GET "${base_entries}" ${i} cells_per_second)
   string(MAKE_C_IDENTIFIER "${name}" key)
   sci_to_int("${cps}" base_${key})
+  list(APPEND base_names "${name}")
 endforeach()
 
 string(JSON cur_entries GET "${current_json}" kernel_cells_per_second entries)
@@ -71,6 +81,7 @@ foreach(i RANGE 0 ${cur_last})
   string(JSON name GET "${cur_entries}" ${i} name)
   string(JSON cps GET "${cur_entries}" ${i} cells_per_second)
   string(MAKE_C_IDENTIFIER "${name}" key)
+  list(REMOVE_ITEM base_names "${name}")
   if(NOT DEFINED base_${key} OR base_${key} STREQUAL "" OR
      base_${key} EQUAL 0)
     message(STATUS "bench_compare: ${name}: no baseline entry (new bench)")
@@ -88,6 +99,12 @@ foreach(i RANGE 0 ${cur_last})
     message(WARNING "bench_compare: ${name} regressed: ${cps} cells/s vs "
                     "baseline ${base_${key}} (below ${THRESHOLD_PERCENT}%)")
   endif()
+endforeach()
+
+# Baseline kernels the current run did not report at all.
+foreach(name IN LISTS base_names)
+  message(WARNING "bench_compare: ${name} is in ${BASELINE} but missing "
+                  "from the current run (bench dropped or renamed?)")
 endforeach()
 
 message(STATUS "bench_compare: ${compared} kernels compared against "

@@ -8,6 +8,7 @@
 #include "msa/alignment.hpp"
 #include "msa/clustal_format.hpp"
 #include "msa/scoring.hpp"
+#include "util/thread_pool.hpp"
 
 namespace salign::cli {
 
@@ -25,6 +26,10 @@ ArgParser make_parser() {
   p.option("format", "name", "fasta",
            "output format: fasta (aligned FASTA) or clustal");
   p.option("procs", "p", "4", "simulated processors");
+  p.option("threads", "t", "0",
+           "worker threads per rank for the sequential aligner's parallel\n"
+           "passes (distance matrices, progressive merges); 0 = auto:\n"
+           "hardware concurrency capped at 16. Never changes the output");
   p.option("aligner", "name", "muscle",
            "per-bucket sequential aligner: " + aligner_names());
   p.option("rank-mode", "mode", "globalized",
@@ -54,8 +59,11 @@ int run_align(std::span<const std::string> args, std::ostream& out,
 
     core::SampleAlignDConfig cfg;
     cfg.num_procs = static_cast<int>(p.get_int("procs", 1, 1024));
+    const auto threads =
+        static_cast<unsigned>(p.get_int("threads", 0, 1024));
+    cfg.threads = threads == 0 ? util::default_threads() : threads;
     cfg.samples_per_proc = static_cast<int>(p.get_int("samples", 0, 1 << 20));
-    cfg.local_aligner = make_aligner(p.get("aligner"));
+    cfg.local_aligner = make_aligner(p.get("aligner"), cfg.threads);
     cfg.ancestor_refinement = !p.get_flag("no-ancestor");
     cfg.polish_divergent = p.get_flag("polish");
     const std::string& mode = p.get("rank-mode");

@@ -12,32 +12,43 @@
 namespace salign::cli {
 
 std::shared_ptr<const msa::MsaAlgorithm> make_aligner(
-    const std::string& name) {
-  if (name == "muscle") return std::make_shared<msa::MuscleAligner>();
-  if (name == "muscle-refine") {
+    const std::string& name, unsigned threads) {
+  if (name == "muscle" || name == "muscle-refine" || name == "muscle-fast") {
     msa::MuscleOptions o;
-    o.refine_passes = 2;
+    o.threads = threads;
+    if (name == "muscle-refine") o.refine_passes = 2;
+    if (name == "muscle-fast")
+      o.stage1_distance = msa::MuscleOptions::GuideTree::kScore;
     return std::make_shared<msa::MuscleAligner>(o);
   }
-  if (name == "clustalw") return std::make_shared<msa::ClustalWAligner>();
-  if (name == "tcoffee") return std::make_shared<msa::TCoffeeAligner>();
-  if (name == "nwnsi") {
+  if (name == "clustalw") {
+    msa::ClustalWOptions o;
+    o.threads = threads;
+    return std::make_shared<msa::ClustalWAligner>(o);
+  }
+  if (name == "tcoffee") {
+    msa::TCoffeeOptions o;
+    o.threads = threads;
+    return std::make_shared<msa::TCoffeeAligner>(o);
+  }
+  if (name == "nwnsi" || name == "fftnsi") {
     msa::MafftOptions o;
-    o.use_fft = false;
+    o.use_fft = name == "fftnsi";
+    o.threads = threads;
     return std::make_shared<msa::MafftAligner>(o);
   }
-  if (name == "fftnsi") {
-    msa::MafftOptions o;
-    o.use_fft = true;
-    return std::make_shared<msa::MafftAligner>(o);
+  if (name == "probcons") {
+    msa::ProbConsOptions o;
+    o.threads = threads;
+    return std::make_shared<msa::ProbConsAligner>(o);
   }
-  if (name == "probcons") return std::make_shared<msa::ProbConsAligner>();
   throw UsageError("unknown aligner '" + name + "' (expected one of " +
                    aligner_names() + ")");
 }
 
 std::string aligner_names() {
-  return "muscle, muscle-refine, clustalw, tcoffee, nwnsi, fftnsi, probcons";
+  return "muscle, muscle-refine, muscle-fast, clustalw, tcoffee, nwnsi, "
+         "fftnsi, probcons";
 }
 
 int dispatch(std::span<const std::string> args, std::ostream& out,

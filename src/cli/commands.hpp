@@ -44,11 +44,13 @@ int run_generate(std::span<const std::string> args, std::ostream& out,
 int dispatch(std::span<const std::string> args, std::ostream& out,
              std::ostream& err);
 
-/// Shared aligner registry: maps a CLI name to an aligner instance.
-/// Names: muscle, muscle-refine, clustalw, tcoffee, nwnsi, fftnsi,
-/// probcons. Throws UsageError for unknown names.
+/// Shared aligner registry: maps a CLI name to an aligner instance with
+/// `threads` workers for its parallel passes (thread counts never change
+/// outputs). Names: muscle, muscle-refine, muscle-fast (score-distance
+/// guide tree), clustalw, tcoffee, nwnsi, fftnsi, probcons. Throws
+/// UsageError for unknown names.
 [[nodiscard]] std::shared_ptr<const msa::MsaAlgorithm> make_aligner(
-    const std::string& name);
+    const std::string& name, unsigned threads = 1);
 
 /// All valid aligner names, for help/error text.
 [[nodiscard]] std::string aligner_names();

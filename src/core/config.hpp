@@ -37,9 +37,19 @@ struct SampleAlignDConfig {
   /// Globalized (paper) vs local-only (predecessor [34]) ranking.
   RankMode rank_mode = RankMode::Globalized;
 
+  /// Worker threads available to EACH rank's local work (1 = the
+  /// historical serial behaviour). Flows into the default sequential
+  /// aligner's parallel passes — the guide-tree distance matrices and the
+  /// progressive merge schedule — which draw from the shared
+  /// util::ThreadPool, so ranks×threads share the host instead of
+  /// oversubscribing it. Any value produces bit-identical alignments. A
+  /// caller-provided local_aligner configures its own thread count.
+  unsigned threads = 1;
+
   /// The sequential MSA system run inside every processor (paper step
   /// "Align sequences in each processor using any sequential multiple
-  /// alignment system"). Null selects MiniMuscle, the paper's choice.
+  /// alignment system"). Null selects MiniMuscle, the paper's choice,
+  /// with `threads` workers.
   std::shared_ptr<const msa::MsaAlgorithm> local_aligner;
 
   /// Whether to run the global-ancestor profile-profile tweak (paper steps

@@ -14,6 +14,12 @@ double StageStats::max_seconds() const {
   return m;
 }
 
+double StageStats::max_wall_seconds() const {
+  double m = 0.0;
+  for (double s : rank_wall_seconds) m = std::max(m, s);
+  return m;
+}
+
 double StageStats::comm_seconds(const par::ClusterCostModel& model,
                                 int p) const {
   switch (pattern) {
@@ -59,15 +65,17 @@ double PipelineStats::load_factor() const {
 
 std::string PipelineStats::summary() const {
   const par::ClusterCostModel model;
-  util::Table table({"stage", "max rank s", "comm s (model)", "bytes"});
+  util::Table table(
+      {"stage", "max rank s", "max wall s", "comm s (model)", "bytes"});
   for (const auto& s : stages) {
     table.add_row({s.name, util::fmt("%.4f", s.max_seconds()),
+                   util::fmt("%.4f", s.max_wall_seconds()),
                    util::fmt("%.6f", s.comm_seconds(model, num_procs)),
                    std::to_string(s.total_bytes)});
   }
   std::ostringstream os;
   os << "Sample-Align-D pipeline: N=" << num_sequences << " p=" << num_procs
-     << '\n'
+     << " threads/rank=" << threads << '\n'
      << table.to_string() << "buckets:";
   for (std::size_t b : bucket_sizes) os << ' ' << b;
   os << "  (load factor " << util::fmt("%.2f", load_factor()) << ", bound 2.0)"

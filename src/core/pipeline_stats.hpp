@@ -21,14 +21,23 @@ enum class CommPattern : std::uint8_t {
 struct StageStats {
   std::string name;
   CommPattern pattern = CommPattern::None;
-  /// Per-rank CPU seconds spent computing in this stage.
+  /// Per-rank CPU seconds the rank's own thread spent computing in this
+  /// stage (shared-pool workers a threaded stage borrows are not included —
+  /// wall time below is what shows their effect).
   std::vector<double> rank_seconds;
+  /// Per-rank wall-clock seconds of the stage. For compute stages run with
+  /// SampleAlignDConfig::threads > 1 this is what shrinks; the per-stage
+  /// speedup of a threaded run is the ratio of this stage's max wall
+  /// seconds between a threads=1 and a threads=t run of the same input
+  /// (PipelineStats::threads records which one this is).
+  std::vector<double> rank_wall_seconds;
   /// Communication volume: max bytes sent by any rank in this stage.
   std::uint64_t max_bytes_per_rank = 0;
   /// Total bytes sent by all ranks in this stage.
   std::uint64_t total_bytes = 0;
 
   [[nodiscard]] double max_seconds() const;
+  [[nodiscard]] double max_wall_seconds() const;
 
   /// Modeled wire time of this stage's communication on the given
   /// interconnect.
@@ -46,6 +55,12 @@ struct StageStats {
 ///    paper's Figs. 4-6 plot.
 struct PipelineStats {
   int num_procs = 0;
+  /// Worker threads each rank's local work was allowed to use
+  /// (SampleAlignDConfig::threads). Per-stage rank_seconds are CPU seconds,
+  /// so comparing a threads=1 and a threads=t run of the same input shows
+  /// the per-stage parallel efficiency directly: wall speedup of a compute
+  /// stage = serial max rank seconds / threaded stage wall.
+  unsigned threads = 1;
   std::size_t num_sequences = 0;
   std::vector<StageStats> stages;
   /// Bucket sizes after redistribution (load-balance check vs the paper's

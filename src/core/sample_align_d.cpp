@@ -80,14 +80,17 @@ constexpr std::array<StageInfo, kNumStages> kStageInfo{{
     {"divergent polish (root)", CommPattern::None},
 }};
 
-/// Per-rank stage accounting: CPU seconds (immune to host oversubscription)
-/// plus bytes sent.
+/// Per-rank stage accounting: CPU seconds of the rank's own thread (immune
+/// to host oversubscription, but blind to shared-pool workers a threaded
+/// stage borrows), wall seconds (what per-rank threading shrinks), and
+/// bytes sent.
 class StageRecorder {
  public:
   void begin(int stage) {
     flush();
     current_ = stage;
     timer_.restart();
+    wall_.restart();
   }
   void end() { flush(); }
   void add_bytes(int stage, std::uint64_t bytes) {
@@ -99,6 +102,7 @@ class StageRecorder {
     w.u64(bucket_size);
     for (int s = 0; s < kNumStages; ++s) {
       w.f64(seconds_[static_cast<std::size_t>(s)]);
+      w.f64(wall_seconds_[static_cast<std::size_t>(s)]);
       w.u64(bytes_[static_cast<std::size_t>(s)]);
     }
     return w.take();
@@ -106,14 +110,18 @@ class StageRecorder {
 
  private:
   void flush() {
-    if (current_ >= 0)
+    if (current_ >= 0) {
       seconds_[static_cast<std::size_t>(current_)] += timer_.restart();
+      wall_seconds_[static_cast<std::size_t>(current_)] += wall_.restart();
+    }
     current_ = -1;
   }
   std::array<double, kNumStages> seconds_{};
+  std::array<double, kNumStages> wall_seconds_{};
   std::array<std::uint64_t, kNumStages> bytes_{};
   int current_ = -1;
   util::ThreadCpuTimer timer_;
+  util::Stopwatch wall_;
 };
 
 // ---- Pipeline payloads ----------------------------------------------------
@@ -280,7 +288,7 @@ SampleAlignD::SampleAlignD(SampleAlignDConfig config)
   if (config_.num_procs <= 0)
     throw std::invalid_argument("SampleAlignD: num_procs must be > 0");
   if (!config_.local_aligner)
-    config_.local_aligner = msa::make_default_aligner();
+    config_.local_aligner = msa::make_default_aligner(config_.threads);
 }
 
 msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
@@ -303,6 +311,7 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
   if (stats) {
     *stats = PipelineStats{};
     stats->num_procs = p;
+    stats->threads = config_.threads;
     stats->num_sequences = n;
     stats->stages.resize(kNumStages);
     for (int s = 0; s < kNumStages; ++s) {
@@ -321,12 +330,17 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
     // containers give CLOCK_THREAD_CPUTIME_ID).
     util::Stopwatch cpu;
     Alignment aln = config_.local_aligner->align(seqs);
-    if (stats) stats->stages[kLocalAlign].rank_seconds = {cpu.seconds()};
+    if (stats) {
+      stats->stages[kLocalAlign].rank_seconds = {cpu.seconds()};
+      stats->stages[kLocalAlign].rank_wall_seconds = {cpu.seconds()};
+    }
     if (config_.polish_divergent && aln.num_rows() >= 3) {
       util::Stopwatch polish_cpu;
       (void)msa::polish_divergent_rows(aln, *config_.matrix, config_.polish);
-      if (stats)
+      if (stats) {
         stats->stages[kPolish].rank_seconds = {polish_cpu.seconds()};
+        stats->stages[kPolish].rank_wall_seconds = {polish_cpu.seconds()};
+      }
     }
     if (stats) {
       stats->bucket_sizes = {n};
@@ -678,15 +692,19 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
 
   if (stats) {
     stats->bucket_sizes.resize(static_cast<std::size_t>(p));
-    for (int s = 0; s < kNumStages; ++s)
+    for (int s = 0; s < kNumStages; ++s) {
       stats->stages[static_cast<std::size_t>(s)].rank_seconds.assign(
           static_cast<std::size_t>(p), 0.0);
+      stats->stages[static_cast<std::size_t>(s)].rank_wall_seconds.assign(
+          static_cast<std::size_t>(p), 0.0);
+    }
     for (std::size_t rank = 0; rank < stat_blobs.size(); ++rank) {
       ByteReader rd(stat_blobs[rank]);
       stats->bucket_sizes[rank] = rd.u64();
       for (int s = 0; s < kNumStages; ++s) {
         auto& stage = stats->stages[static_cast<std::size_t>(s)];
         stage.rank_seconds[rank] = rd.f64();
+        stage.rank_wall_seconds[rank] = rd.f64();
         const std::uint64_t bytes = rd.u64();
         stage.total_bytes += bytes;
         stage.max_bytes_per_rank = std::max(stage.max_bytes_per_rank, bytes);

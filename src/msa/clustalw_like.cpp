@@ -40,6 +40,7 @@ Alignment ClustalWAligner::align(std::span<const bio::Sequence> seqs) const {
   ProgressiveOptions po;
   po.gaps = gaps;
   po.weights = tree.leaf_weights();
+  po.threads = options_.threads;
 
   // Stage 4: progressive alignment, rows restored to input order.
   Alignment aln = progressive_align(seqs, tree, *matrix_, po);

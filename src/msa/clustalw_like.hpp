@@ -11,8 +11,9 @@ struct ClustalWOptions {
   /// A modest band accelerates the N^2 pairwise stage with negligible
   /// distance error on homologous inputs.
   std::size_t pairwise_band = 0;
-  /// Worker threads of the stage-1 distance matrix (1 = serial). Any value
-  /// produces bit-identical alignments — the pass is deterministic.
+  /// Worker threads of the stage-1 distance matrix and of the stage-4
+  /// progressive merge schedule (1 = serial). Any value produces
+  /// bit-identical alignments — both passes are deterministic.
   unsigned threads = 1;
   /// Distance source of the guide tree.
   enum class Distance : std::uint8_t {

@@ -113,6 +113,7 @@ Alignment MafftAligner::align(std::span<const bio::Sequence> seqs) const {
   ProgressiveOptions po;
   po.gaps = matrix_->default_gaps();
   po.weights = tree.leaf_weights();
+  po.threads = options_.threads;
   if (options_.use_fft) {
     const std::size_t base = options_.base_band;
     po.band_provider = [base](const Alignment& a, const Alignment& b) {

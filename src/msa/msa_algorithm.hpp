@@ -32,7 +32,10 @@ class MsaAlgorithm {
 /// The default sequential aligner used by the pipeline (MiniMuscle with the
 /// paper's configuration: k-mer distances, UPGMA, PSP progressive pass,
 /// no refinement — matching the MUSCLE timings the paper quotes, which are
-/// "without refinement").
-[[nodiscard]] std::shared_ptr<const MsaAlgorithm> make_default_aligner();
+/// "without refinement"). `threads` is the worker count of its parallel
+/// passes (distance matrices, progressive merge schedule); any value
+/// produces bit-identical alignments.
+[[nodiscard]] std::shared_ptr<const MsaAlgorithm> make_default_aligner(
+    unsigned threads = 1);
 
 }  // namespace salign::msa

@@ -71,6 +71,8 @@ MuscleAligner::MuscleAligner(MuscleOptions options,
 
 std::string MuscleAligner::name() const {
   std::string n = "MiniMuscle";
+  if (options_.stage1_distance == MuscleOptions::GuideTree::kScore)
+    n += "+score-tree";
   if (options_.refine_passes > 0) n += "+refine";
   return n;
 }
@@ -86,13 +88,21 @@ Alignment MuscleAligner::align(std::span<const bio::Sequence> seqs) const {
         throw std::invalid_argument("MuscleAligner: duplicate id " + s.id());
   }
 
-  // Stage 1: k-mer distances -> UPGMA -> progressive.
-  const util::SymmetricMatrix<double> kd =
-      kmer::distance_matrix(seqs, options_.kmer);
+  // Stage 1: k-mer (or engine score) distances -> UPGMA -> progressive.
+  const util::SymmetricMatrix<double> kd = [&] {
+    if (options_.stage1_distance == MuscleOptions::GuideTree::kScore) {
+      align::ScoreDistanceOptions sdo;
+      sdo.threads = options_.threads;
+      return align::score_distance_matrix(seqs, *matrix_,
+                                          matrix_->default_gaps(), sdo);
+    }
+    return kmer::distance_matrix(seqs, options_.kmer);
+  }();
   GuideTree tree = GuideTree::upgma(kd);
   ProgressiveOptions po;
   po.gaps = matrix_->default_gaps();
   po.weights = tree.leaf_weights();
+  po.threads = options_.threads;
   Alignment aln = progressive_align(seqs, tree, *matrix_, po);
 
   // Stage 2: Kimura distances from the stage-1 alignment, rebuilt tree,
@@ -122,8 +132,10 @@ Alignment MuscleAligner::align(std::span<const bio::Sequence> seqs) const {
   return aln;
 }
 
-std::shared_ptr<const MsaAlgorithm> make_default_aligner() {
-  return std::make_shared<MuscleAligner>();
+std::shared_ptr<const MsaAlgorithm> make_default_aligner(unsigned threads) {
+  MuscleOptions o;
+  o.threads = threads;
+  return std::make_shared<MuscleAligner>(o);
 }
 
 }  // namespace salign::msa

@@ -8,7 +8,20 @@ namespace salign::msa {
 
 /// Configuration of the MUSCLE-style aligner.
 struct MuscleOptions {
-  /// k-mer parameters of the stage-1 distance estimate.
+  /// Stage-1 guide-tree distance source.
+  enum class GuideTree : std::uint8_t {
+    /// k-mer profile distances (MUSCLE's choice; the historical default).
+    kKmer,
+    /// Score-only global-alignment distances through the striped integer
+    /// engine (align::score_distance_matrix) — the "fast guide-tree mode":
+    /// O(N^2 L^2) work but no tracebacks and 3-4x kernel throughput, giving
+    /// alignment-quality trees on inputs where k-mer distances wash out.
+    /// Changes guide trees (and thus alignments); thread counts still
+    /// never do.
+    kScore,
+  };
+  GuideTree stage1_distance = GuideTree::kKmer;
+  /// k-mer parameters of the stage-1 distance estimate (kKmer mode).
   kmer::KmerParams kmer{};
   /// Second progressive iteration with Kimura distances recomputed from the
   /// stage-1 alignment (MUSCLE's "improved progressive" stage 2).
@@ -17,8 +30,10 @@ struct MuscleOptions {
   /// The paper's large-N timings quote MUSCLE "without refinement", so the
   /// pipeline default keeps this at 0 and the quality benches turn it on.
   int refine_passes = 0;
-  /// Worker threads of the stage-2 induced-Kimura distance matrix
-  /// (1 = serial). Any value produces bit-identical alignments.
+  /// Worker threads (1 = serial) of every parallel pass: the stage-1 score
+  /// distances (kScore mode), the stage-2 induced-Kimura distance matrix,
+  /// and both progressive merge schedules. Any value produces bit-identical
+  /// alignments.
   unsigned threads = 1;
 };
 

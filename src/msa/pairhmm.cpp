@@ -13,6 +13,9 @@ namespace {
 
 constexpr double kLogZero = -std::numeric_limits<double>::infinity();
 
+/// Default PairHmmParams::max_forward_cells: 2M cells = 16 MB of doubles.
+constexpr std::size_t kDefaultForwardCells = std::size_t{1} << 21;
+
 /// log(exp(x) + exp(y)) without overflow; tolerates -inf operands.
 double log_add(double x, double y) {
   if (x == kLogZero) return y;
@@ -134,15 +137,14 @@ SparsePosterior PairHmm::posterior(const bio::Sequence& a,
   const double t_gg = std::log(params_.gap_extend);      // X->X / Y->Y
   const double t_gm = std::log(1.0 - params_.gap_extend); // X->M / Y->M
 
-  // Forward. Full M matrix is kept (needed for the posterior); X and Y use
-  // rolling rows. Cell (i, j) covers prefixes a[0..i) and b[0..j).
-  util::Matrix<double> fwd_m(m + 1, n + 1, kLogZero);
-  std::vector<double> fx_prev(n + 1, kLogZero), fx_cur(n + 1, kLogZero);
-  std::vector<double> fy_prev(n + 1, kLogZero), fy_cur(n + 1, kLogZero);
-  // Virtual start: the start distribution is folded into the first real
-  // transition by seeding M(0,0) with log 1 and treating moves out of (0,0)
-  // with start probabilities rather than transition probabilities.
-  fwd_m(0, 0) = 0.0;
+  // Forward. X and Y always use rolling rows; the M rows the posterior
+  // needs are either kept whole (small pairs) or checkpointed every K-th
+  // row and recomputed one row block at a time while the backward sweep
+  // descends — the same row-checkpoint + block-recompute scheme as the
+  // engine and profile-DP tracebacks, so no pair ever materializes an
+  // O(m·n) forward matrix. Both paths run the identical row recurrence, so
+  // posteriors are bit-identical. Cell (i, j) covers prefixes a[0..i) and
+  // b[0..j).
   const double s_m = std::log(1.0 - 2.0 * params_.gap_open);
   const double s_g = std::log(params_.gap_open);
 
@@ -152,34 +154,130 @@ SparsePosterior PairHmm::posterior(const bio::Sequence& a,
     return log_add3(from_m + t_mm, from_x + t_gm, from_y + t_gm);
   };
 
+  // One forward row: reads M row i-1 (`pm`) and the X/Y rows of i-1, writes
+  // M row i (`cm`) and the X/Y rows of i. The single source of the
+  // recurrence — the main pass and the block recompute both run it.
+  auto forward_row = [&](std::size_t i, const double* pm, double* cm,
+                         const double* fxp, double* fxc, const double* fyp,
+                         double* fyc) {
+    std::fill_n(fxc, n + 1, kLogZero);
+    std::fill_n(fyc, n + 1, kLogZero);
+    cm[0] = kLogZero;
+    {
+      const double open = pm[0] + (i == 1 ? s_g : kLogZero);
+      const double ext = fyp[0] + t_gg;
+      fyc[0] = log_add(open, ext) + log_bg_[a.code(i - 1)];
+    }
+    for (std::size_t j = 1; j <= n; ++j) {
+      cm[j] = trans_into_m(pm[j - 1], fxp[j - 1], fyp[j - 1],
+                           i == 1 && j == 1) +
+              emit_match(a.code(i - 1), b.code(j - 1));
+      // X consumes b[j-1] (gap in a).
+      fxc[j] = log_add(cm[j - 1] + t_mg, fxc[j - 1] + t_gg) +
+               log_bg_[b.code(j - 1)];
+      // Y consumes a[i-1] (gap in b).
+      fyc[j] = log_add(pm[j] + t_mg, fyp[j] + t_gg) +
+               log_bg_[a.code(i - 1)];
+    }
+  };
+
+  const std::size_t budget = params_.max_forward_cells != 0
+                                 ? params_.max_forward_cells
+                                 : kDefaultForwardCells;
+  const bool full = (m + 1) * (n + 1) <= budget;
+  const std::size_t ckpt_k = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(m)))),
+      16, 4096);
+
+  util::Matrix<double> fwd_m;                // full path: every M row
+  util::Matrix<double> ck_m, ck_x, ck_y;     // checkpoint path: K-th rows
+  std::vector<double> m_prev(n + 1, kLogZero), m_cur(n + 1, kLogZero);
+  std::vector<double> fx_prev(n + 1, kLogZero), fx_cur(n + 1, kLogZero);
+  std::vector<double> fy_prev(n + 1, kLogZero), fy_cur(n + 1, kLogZero);
+  // Virtual start: the start distribution is folded into the first real
+  // transition by seeding M(0,0) with log 1 and treating moves out of (0,0)
+  // with start probabilities rather than transition probabilities.
+  m_prev[0] = 0.0;
   for (std::size_t j = 1; j <= n; ++j) {
-    const double open = fwd_m(0, j - 1) + (j == 1 ? s_g : kLogZero);
+    const double open = m_prev[j - 1] + (j == 1 ? s_g : kLogZero);
     const double ext = fx_prev[j - 1] + t_gg;
     fx_prev[j] = log_add(open, ext) + log_bg_[b.code(j - 1)];
   }
-  for (std::size_t i = 1; i <= m; ++i) {
-    std::fill(fx_cur.begin(), fx_cur.end(), kLogZero);
-    std::fill(fy_cur.begin(), fy_cur.end(), kLogZero);
-    {
-      const double open = fwd_m(i - 1, 0) + (i == 1 ? s_g : kLogZero);
-      const double ext = fy_prev[0] + t_gg;
-      fy_cur[0] = log_add(open, ext) + log_bg_[a.code(i - 1)];
+
+  if (full) {
+    fwd_m = util::Matrix<double>(m + 1, n + 1, kLogZero);
+    for (std::size_t j = 0; j <= n; ++j) fwd_m(0, j) = m_prev[j];
+    for (std::size_t i = 1; i <= m; ++i) {
+      forward_row(i, &fwd_m(i - 1, 0), &fwd_m(i, 0), fx_prev.data(),
+                  fx_cur.data(), fy_prev.data(), fy_cur.data());
+      std::swap(fx_prev, fx_cur);
+      std::swap(fy_prev, fy_cur);
     }
-    for (std::size_t j = 1; j <= n; ++j) {
-      fwd_m(i, j) = trans_into_m(fwd_m(i - 1, j - 1), fx_prev[j - 1],
-                                 fy_prev[j - 1], i == 1 && j == 1) +
-                    emit_match(a.code(i - 1), b.code(j - 1));
-      // X consumes b[j-1] (gap in a).
-      fx_cur[j] = log_add(fwd_m(i, j - 1) + t_mg, fx_cur[j - 1] + t_gg) +
-                  log_bg_[b.code(j - 1)];
-      // Y consumes a[i-1] (gap in b).
-      fy_cur[j] = log_add(fwd_m(i - 1, j) + t_mg, fy_prev[j] + t_gg) +
-                  log_bg_[a.code(i - 1)];
+    for (std::size_t j = 0; j <= n; ++j) m_prev[j] = fwd_m(m, j);
+  } else {
+    const std::size_t rows = m / ckpt_k + 1;
+    ck_m = util::Matrix<double>(rows, n + 1, kLogZero);
+    ck_x = util::Matrix<double>(rows, n + 1, kLogZero);
+    ck_y = util::Matrix<double>(rows, n + 1, kLogZero);
+    for (std::size_t j = 0; j <= n; ++j) {
+      ck_m(0, j) = m_prev[j];
+      ck_x(0, j) = fx_prev[j];
+      ck_y(0, j) = fy_prev[j];
     }
-    std::swap(fx_prev, fx_cur);
-    std::swap(fy_prev, fy_cur);
+    for (std::size_t i = 1; i <= m; ++i) {
+      forward_row(i, m_prev.data(), m_cur.data(), fx_prev.data(),
+                  fx_cur.data(), fy_prev.data(), fy_cur.data());
+      std::swap(m_prev, m_cur);
+      std::swap(fx_prev, fx_cur);
+      std::swap(fy_prev, fy_cur);
+      if (i % ckpt_k == 0) {
+        const std::size_t r = i / ckpt_k;
+        for (std::size_t j = 0; j <= n; ++j) {
+          ck_m(r, j) = m_prev[j];
+          ck_x(r, j) = fx_prev[j];
+          ck_y(r, j) = fy_prev[j];
+        }
+      }
+    }
   }
-  const double log_z = log_add3(fwd_m(m, n), fx_prev[n], fy_prev[n]);
+  const double log_z = log_add3(m_prev[n], fx_prev[n], fy_prev[n]);
+
+  // Forward M row accessor for the backward sweep (rows are requested in
+  // descending order). The checkpointed path recomputes blocks of rows
+  // (r0, r0 + K] seeded from checkpoint r0.
+  util::Matrix<double> blk;
+  std::vector<double> rx_prev, rx_cur, ry_prev, ry_cur;
+  std::size_t blk_r0 = 0;
+  bool blk_valid = false;
+  auto fwd_row = [&](std::size_t row) -> const double* {
+    if (full) return &fwd_m(row, 0);
+    if (!blk_valid || row < blk_r0) {
+      const std::size_t r0 = (row - 1) / ckpt_k * ckpt_k;
+      const std::size_t top = std::min(m, r0 + ckpt_k);
+      const std::size_t cr = r0 / ckpt_k;
+      if (blk.rows() == 0) {
+        blk = util::Matrix<double>(ckpt_k + 1, n + 1, kLogZero);
+        rx_prev.resize(n + 1);
+        rx_cur.resize(n + 1);
+        ry_prev.resize(n + 1);
+        ry_cur.resize(n + 1);
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        blk(0, j) = ck_m(cr, j);
+        rx_prev[j] = ck_x(cr, j);
+        ry_prev[j] = ck_y(cr, j);
+      }
+      for (std::size_t i = r0 + 1; i <= top; ++i) {
+        forward_row(i, &blk(i - 1 - r0, 0), &blk(i - r0, 0), rx_prev.data(),
+                    rx_cur.data(), ry_prev.data(), ry_cur.data());
+        std::swap(rx_prev, rx_cur);
+        std::swap(ry_prev, ry_cur);
+      }
+      blk_r0 = r0;
+      blk_valid = true;
+    }
+    return &blk(row - blk_r0, 0);
+  };
 
   // Backward: B_state(i, j) = P(suffix | state at (i, j)). All three states
   // may end, so B(m, n) = 0 for each. The posterior only ever reads the
@@ -192,14 +290,16 @@ SparsePosterior PairHmm::posterior(const bio::Sequence& a,
   std::vector<double> by_next(n + 1, kLogZero), by_cur(n + 1, kLogZero);
 
   // Posterior(i, j) = F_M(i+1, j+1) + B_M(i+1, j+1) - log Z, sparsified.
-  // `bwd_row` holds B_M(i+1, 0..n).
+  // `bwd_row` holds B_M(i+1, 0..n); the forward M row comes through
+  // fwd_row(i+1) (stored or block-recomputed).
   std::vector<std::vector<SparsePosterior::Entry>> rows(m);
   const double log_cutoff = std::log(params_.posterior_cutoff);
   auto emit_posterior_row = [&](std::size_t i,
                                 const std::vector<double>& bwd_row) {
+    const double* fm = fwd_row(i + 1);
     std::vector<SparsePosterior::Entry>& row = rows[i];
     for (std::size_t j = 0; j < n; ++j) {
-      const double lp = fwd_m(i + 1, j + 1) + bwd_row[j + 1] - log_z;
+      const double lp = fm[j + 1] + bwd_row[j + 1] - log_z;
       if (lp > log_cutoff) {
         const double p = std::min(1.0, std::exp(lp));
         row.push_back(SparsePosterior::Entry{static_cast<std::uint32_t>(j),

@@ -27,6 +27,13 @@ struct PairHmmParams {
   /// Posterior entries below this are dropped when sparsifying; ProbCons
   /// uses the same cutoff to keep the consistency transform near-linear.
   double posterior_cutoff = 0.01;
+  /// Forward-matrix cell budget: pairs with (|a|+1)*(|b|+1) cells at or
+  /// below this keep the full forward M matrix; larger ones checkpoint
+  /// every ~sqrt(|a|)-th forward row and recompute one row block at a time
+  /// while the backward sweep emits posterior rows — O((|a|/K + K)|b|)
+  /// doubles instead of O(|a|*|b|). 0 = default (2M cells = 16 MB).
+  /// Posteriors are bit-identical on both paths.
+  std::size_t max_forward_cells = 0;
 };
 
 /// Sparse row-major posterior match-probability matrix P(a_i ~ b_j) for one

@@ -9,6 +9,7 @@
 #include "align/distance.hpp"
 #include "msa/guide_tree.hpp"
 #include "msa/profile_align.hpp"
+#include "msa/tree_schedule.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -232,18 +233,20 @@ Alignment ProbConsAligner::align(std::span<const Sequence> seqs) const {
   for (int rep = 0; rep < options_.consistency_reps; ++rep)
     post = relax(post, options_.hmm.posterior_cutoff);
 
-  // Stage 4: progressive MEA alignment along the tree.
-  const std::vector<int> order = tree.postorder();
+  // Stage 4: progressive MEA alignment along the tree. Merges of
+  // independent subtrees run concurrently (the posterior table is read-only
+  // by now); each task writes only its own node's slots, so the result is
+  // bit-identical for every thread count.
   std::vector<Alignment> node_aln(tree.num_nodes());
   std::vector<std::vector<std::size_t>> node_rows(tree.num_nodes());
-  for (int idx : order) {
+  schedule_tree(tree, options_.threads, [&](int idx) {
     const auto u = static_cast<std::size_t>(idx);
     const TreeNode& node = tree.node(u);
     if (tree.is_leaf(u)) {
       node_aln[u] = Alignment::from_sequence(
           seqs[static_cast<std::size_t>(node.leaf_index)]);
       node_rows[u] = {static_cast<std::size_t>(node.leaf_index)};
-      continue;
+      return;
     }
     const auto l = static_cast<std::size_t>(node.left);
     const auto r = static_cast<std::size_t>(node.right);
@@ -255,7 +258,7 @@ Alignment ProbConsAligner::align(std::span<const Sequence> seqs) const {
                         node_rows[r].end());
     node_aln[l] = Alignment();
     node_aln[r] = Alignment();
-  }
+  });
   Alignment aln = std::move(node_aln[static_cast<std::size_t>(tree.root())]);
   std::vector<std::size_t> row_seq = node_rows[static_cast<std::size_t>(
       tree.root())];  // row r carries sequence row_seq[r]

@@ -24,9 +24,10 @@ struct ProbConsOptions {
   std::uint64_t refine_seed = 11;
   /// Pair-HMM parameters (transitions, emission temperature, sparsity).
   PairHmmParams hmm{};
-  /// Worker threads of the stage-1 posterior/distance pass (1 = serial).
-  /// Each pair's posterior is independent, so any value produces
-  /// bit-identical alignments.
+  /// Worker threads of the stage-1 posterior/distance pass and of the
+  /// stage-4 progressive MEA merge schedule (1 = serial). Each pair's
+  /// posterior is independent and each merge is a pure function of its
+  /// children, so any value produces bit-identical alignments.
   unsigned threads = 1;
 };
 

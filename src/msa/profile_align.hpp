@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "align/engine/engine.hpp"
@@ -25,7 +26,15 @@ struct ProfileAlignOptions {
   /// traceback (row checkpoints every ~sqrt(m) rows + block recompute), so
   /// big-bucket merges never materialize an O(m·n) trace. 0 = default
   /// (4M cells ≈ 12 MB of trace). Results are identical on both paths.
+  /// Applies to the scalar kernel; the vectorized kernel always checkpoints.
   std::size_t max_trace_cells = 0;
+  /// Kernel selection for the PSP scorer: kVector runs the blocked
+  /// anti-diagonal wavefront kernel (profile_dp_simd.cpp), kScalar the
+  /// retained row-major reference below — the differential oracle. Scores,
+  /// paths and tie-breaks are bit-identical on both. Scorers without dense
+  /// row preparation (e.g. the T-Coffee consistency scorer) always take the
+  /// reference path.
+  align::engine::Backend backend = align::engine::default_backend();
 };
 
 struct ProfileAlignResult {
@@ -36,6 +45,23 @@ struct ProfileAlignResult {
 namespace detail {
 
 inline constexpr std::size_t kDefaultProfileTraceCells = std::size_t{1} << 22;
+
+/// Fills `out[0..len)` with the dense PSP scores of one A column against B
+/// columns [cb_lo, cb_lo + len): sum over the column's nonzero residues of
+/// f * svt(code, cb), as contiguous vectorizable sweeps. The single source
+/// of this accumulation — PspRowScorer::prepare_row (the scalar DP) and
+/// the wavefront kernel's block fill (profile_dp_simd.cpp) both call it,
+/// and its exact operation order is part of their bit-identity contract.
+inline void psp_fill_row(
+    const util::Matrix<float>& svt,
+    const std::vector<std::pair<std::uint8_t, float>>& col_a,
+    std::size_t cb_lo, std::size_t len, float* out) {
+  std::fill_n(out, len, 0.0F);
+  for (const auto& [code, f] : col_a) {
+    const float* sv_row = &svt(code, cb_lo);
+    for (std::size_t c = 0; c < len; ++c) out[c] += f * sv_row[c];
+  }
+}
 
 /// PSP scorer with a per-row dense buffer: profile_dp announces each DP row
 /// as prepare_row(ca, cb_lo, cb_hi), which builds row[cb] = sum over
@@ -51,16 +77,25 @@ struct PspRowScorer {
   void prepare_row(std::size_t ca, std::size_t cb_lo,
                    std::size_t cb_hi) const {
     if (cb_lo > cb_hi) return;
-    const std::size_t len = cb_hi - cb_lo + 1;
-    std::fill_n(row.begin() + static_cast<std::ptrdiff_t>(cb_lo), len, 0.0F);
-    for (const auto& [code, f] : (*sparse_a)[ca]) {
-      const float* sv_row = &(*svt)(code, cb_lo);
-      float* out = row.data() + cb_lo;
-      for (std::size_t c = 0; c < len; ++c) out[c] += f * sv_row[c];
-    }
+    psp_fill_row(*svt, (*sparse_a)[ca], cb_lo, cb_hi - cb_lo + 1,
+                 row.data() + cb_lo);
   }
   float operator()(std::size_t, std::size_t cb) const { return row[cb]; }
 };
+
+/// Blocked anti-diagonal (wavefront) PSP profile DP over engine::simd
+/// vectors (profile_dp_simd.cpp). Materializes dense scorer rows one row
+/// block at a time, sweeps each block's anti-diagonals with element-wise
+/// vector ops (the occupancy-scaled gap penalties become precomputed gap
+/// vectors: forward along A for gaps-in-B, reversed along B for gaps-in-A),
+/// and checkpoints every ~sqrt(m)-th row so traceback re-derives decisions
+/// from recomputed state values — never an O(m·n) trace. Scores, paths and
+/// tie-breaks are bit-identical to the scalar profile_dp below (pinned by
+/// tests/msa_parallel_test.cpp). Requires m >= 1 and n >= 1.
+[[nodiscard]] ProfileAlignResult profile_dp_wavefront(
+    std::size_t m, std::size_t n, const PspRowScorer& scorer,
+    std::span<const float> occ_a, std::span<const float> occ_b,
+    const ProfileAlignOptions& opts);
 
 /// Invokes scorer.prepare_row(ca, cb_lo, cb_hi) when the scorer provides it
 /// (row-major scorers with per-row precomputation); plain callables need
@@ -182,6 +217,13 @@ ProfileAlignResult profile_dp(std::size_t m, std::size_t n,
     for (std::size_t i = 0; i < m; ++i)
       out.score -= (i == 0 ? open : ext) * occ_a[i];
     return out;
+  }
+
+  // Dense-row scorers take the vectorized wavefront kernel unless the
+  // scalar reference path is requested; results are bit-identical.
+  if constexpr (std::is_same_v<Scorer, PspRowScorer>) {
+    if (opts.backend == align::engine::Backend::kVector)
+      return profile_dp_wavefront(m, n, scorer, occ_a, occ_b, opts);
   }
 
   const std::size_t diff = m > n ? m - n : n - m;

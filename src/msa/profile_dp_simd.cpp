@@ -1,0 +1,543 @@
+// Blocked anti-diagonal (wavefront) PSP profile DP.
+//
+// The scalar profile_dp's inner loop carries a dependency through the
+// gap-in-A state (cx[j] reads cx[j-1] of the same row), so rows cannot be
+// vectorized directly, and the occupancy-scaled gap penalties rule out the
+// closed-form carry scans the striped integer kernels use (float rounding
+// would differ from the sequential subtraction chain). On an anti-diagonal,
+// however, all three states read only the two previous diagonals, so a
+// whole diagonal updates with element-wise vector max/add — the same layout
+// as the engine's pairwise Gotoh kernel (align/engine/gotoh.cpp), with two
+// adaptations:
+//
+//  * scores come from dense PspRowScorer rows, materialized one row block
+//    (kRowBlock rows) at a time with the scorer's own saxpy sweeps, and
+//    gathered per diagonal — O(block * n) scratch, never O(m * n);
+//  * the gap penalties are position-dependent (open/extend scaled by the
+//    occupancy of the consumed column), so they are precomputed as gap
+//    vectors: forward along A for gap-in-B moves (contiguous in the
+//    diagonal's row index), reversed along B for gap-in-A moves (a reversed
+//    copy makes the j-indexed factor contiguous in the row index too).
+//
+// Exactness: every cell performs the same IEEE single-precision multiplies,
+// subtractions, adds and maxes as the scalar kernel's per-cell chains, and
+// unreachable cells hold exactly align::kNegInf in both (subtracting any
+// realistic penalty from the sentinel is absorbed by rounding, and the
+// scalar path's `best > kNegInf / 2` clamp only ever fires on exact
+// sentinels, where `best + sub` rounds back to the sentinel anyway) — so
+// scores are bit-identical and traceback decisions, re-derived from stored
+// state values with the scalar kernel's comparison chains, are identical
+// too. The randomized differential suite in tests/msa_parallel_test.cpp
+// pins this against the retained scalar path.
+//
+// Memory: forward pass keeps three diagonals, one score block and one
+// checkpoint row every K ~ sqrt(m) rows; traceback recomputes one block of
+// rows at a time, storing its state values diagonal-major.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "align/engine/simd.hpp"
+#include "msa/profile_align.hpp"
+#include "util/matrix.hpp"
+
+namespace salign::msa::detail {
+
+namespace {
+
+constexpr float kNegInf = align::kNegInf;
+using V = align::engine::VecF;
+constexpr std::size_t kW = static_cast<std::size_t>(V::kLanes);
+
+/// Forward-pass score-block height. Diagonals inside a block are at most
+/// this long, so the wavefront ramp-up costs ~kRowBlock/n of the cells —
+/// negligible for the wide DPs this kernel exists for — while the dense
+/// score scratch stays at kRowBlock * n floats.
+constexpr std::size_t kRowBlock = 32;
+
+/// Checkpoint interval: ~sqrt(m) rounded up to a whole number of score
+/// blocks so checkpoint rows coincide with block-final rows. The 1024 cap
+/// bounds the traceback block recompute's value storage (three floats per
+/// cell, diagonal-major) on extreme inputs.
+std::size_t checkpoint_interval(std::size_t m) {
+  const auto root = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(m))));
+  const std::size_t blocks = (root + kRowBlock - 1) / kRowBlock;
+  return std::clamp<std::size_t>(blocks * kRowBlock, kRowBlock, 1024);
+}
+
+/// Shared problem description: band geometry (the scalar kernel's formulas,
+/// verbatim) plus the precomputed occupancy-scaled gap vectors and the
+/// accumulated column-0 / row-0 boundary runs.
+struct Geometry {
+  std::size_t m = 0, n = 0;
+  float open = 0.0F, ext = 0.0F;
+  bool banded = false;
+  std::vector<std::size_t> lo, hi;  // per row 0..m
+  // Gap vectors, padded by kW so diagonal-end vector loads stay in bounds:
+  // open_a[i] = open * occ_a[i] (gap-in-B penalties, contiguous in the
+  // diagonal row index), rev_open_b[t] = open * occ_b[n-1-t] (gap-in-A
+  // penalties; on diagonal d the j-indexed factor lives at (n + i) - d,
+  // ascending in the row index i).
+  std::vector<float> open_a, ext_a, rev_open_b, rev_ext_b;
+  std::vector<float> yborder;  // column-0 gap run per row 0..m
+  std::vector<float> seed0_m, seed0_x, seed0_y;  // row-0 boundary
+
+  Geometry(std::size_t m_, std::size_t n_, std::span<const float> occ_a,
+           std::span<const float> occ_b, const ProfileAlignOptions& opts)
+      : m(m_), n(n_), open(opts.gaps.open), ext(opts.gaps.extend),
+        banded(opts.band > 0) {
+    const std::size_t diff = m > n ? m - n : n - m;
+    const std::size_t eff_band =
+        banded ? std::max<std::size_t>(opts.band, 1) + diff : n;
+    lo.assign(m + 1, 0);
+    hi.assign(m + 1, n);
+    if (banded) {
+      for (std::size_t i = 0; i <= m; ++i) {
+        const auto center = static_cast<std::size_t>(
+            static_cast<double>(i) * static_cast<double>(n) /
+            static_cast<double>(m));
+        lo[i] = center > eff_band ? center - eff_band : 0;
+        hi[i] = std::min(n, center + eff_band);
+      }
+    }
+    open_a.assign(m + kW, 0.0F);
+    ext_a.assign(m + kW, 0.0F);
+    for (std::size_t i = 0; i < m; ++i) {
+      open_a[i] = open * occ_a[i];
+      ext_a[i] = ext * occ_a[i];
+    }
+    rev_open_b.assign(n + kW, 0.0F);
+    rev_ext_b.assign(n + kW, 0.0F);
+    for (std::size_t t = 0; t < n; ++t) {
+      rev_open_b[t] = open * occ_b[n - 1 - t];
+      rev_ext_b[t] = ext * occ_b[n - 1 - t];
+    }
+    yborder.assign(m + 1, 0.0F);
+    {
+      float acc = 0.0F;
+      for (std::size_t i = 1; i <= m; ++i) {
+        acc -= (i == 1 ? open : ext) * occ_a[i - 1];
+        yborder[i] = acc;
+      }
+    }
+    seed0_m.assign(n + 1, kNegInf);
+    seed0_x.assign(n + 1, kNegInf);
+    seed0_y.assign(n + 1, kNegInf);
+    seed0_m[0] = 0.0F;
+    {
+      float acc = 0.0F;
+      for (std::size_t j = 1; j <= hi[0]; ++j) {
+        acc -= (j == 1 ? open : ext) * occ_b[j - 1];
+        seed0_x[j] = acc;
+      }
+    }
+  }
+};
+
+/// Dense scorer rows of one row block: local row r (1-based, absolute row
+/// r0 + r) covers B columns cb in [0, n), filled only on the row's in-band
+/// range with the scorer's exact saxpy order.
+struct ScoreBlock {
+  std::size_t stride = 0;
+  std::vector<float> buf;
+
+  void fill(const PspRowScorer& scorer, const Geometry& g, std::size_t r0,
+            std::size_t rows, std::size_t jcap) {
+    stride = g.n;
+    buf.resize(rows * stride);
+    for (std::size_t r = 1; r <= rows; ++r) {
+      const std::size_t i = r0 + r;
+      const std::size_t js = std::max<std::size_t>(g.lo[i], 1);
+      const std::size_t je = std::min(g.hi[i], jcap);
+      if (js > je) continue;
+      const std::size_t cb_lo = js - 1;
+      const std::size_t len = je - js + 1;
+      float* out = buf.data() + (r - 1) * stride;
+      psp_fill_row(*scorer.svt, (*scorer.sparse_a)[i - 1], cb_lo, len,
+                   out + cb_lo);
+    }
+  }
+
+  [[nodiscard]] float at(std::size_t r, std::size_t cb) const {
+    return buf[(r - 1) * stride + cb];
+  }
+};
+
+/// Reusable diagonal workspace: 9 state diagonals + score scratch, padded
+/// so vector loads/stores at range ends stay inside the allocation.
+struct DiagWorkspace {
+  std::vector<float> buf;
+  std::size_t padded = 0;
+
+  void init(std::size_t rows) {
+    padded = rows + 2 + kW;
+    buf.assign(10 * padded, kNegInf);
+    std::fill_n(buf.begin() + static_cast<std::ptrdiff_t>(9 * padded), padded,
+                0.0F);
+  }
+  [[nodiscard]] float* lane(std::size_t idx) {
+    return buf.data() + idx * padded;
+  }
+};
+
+/// All three state values of a traceback row block [r0, r0 + rows),
+/// diagonal-major (cell (local diag d, local row r) at d * stride + r) so
+/// the kernel's per-diagonal outputs land with contiguous copies.
+struct Block {
+  std::size_t r0 = 0;
+  std::size_t rows = 0;    // includes the seed row r0
+  std::size_t stride = 0;  // == rows
+  std::vector<float> m, x, y;
+
+  void init(std::size_t seed_row, std::size_t row_count, std::size_t jcap,
+            bool fill) {
+    r0 = seed_row;
+    rows = row_count;
+    stride = row_count;
+    const std::size_t need = (row_count + jcap) * stride;
+    if (fill) {
+      m.assign(need, kNegInf);
+      x.assign(need, kNegInf);
+      y.assign(need, kNegInf);
+    } else {
+      m.resize(need);
+      x.resize(need);
+      y.resize(need);
+    }
+  }
+  [[nodiscard]] std::size_t at(std::size_t i, std::size_t j) const {
+    const std::size_t r = i - r0;
+    return (r + j) * stride + r;
+  }
+  [[nodiscard]] float M(std::size_t i, std::size_t j) const {
+    return m[at(i, j)];
+  }
+  [[nodiscard]] float X(std::size_t i, std::size_t j) const {
+    return x[at(i, j)];
+  }
+  [[nodiscard]] float Y(std::size_t i, std::size_t j) const {
+    return y[at(i, j)];
+  }
+};
+
+/// Forward sink: captures the block's final row (the next block's seed and,
+/// on checkpoint rows, the checkpoint).
+struct LastRowSink {
+  std::size_t rows;  // block-local index of the final row
+  float* nm;
+  float* nx;
+  float* ny;
+
+  void diagonal(std::size_t d, bool /*has_b0*/, std::size_t ilo,
+                std::size_t ihi, bool has_bd, const float* m0,
+                const float* x0, const float* y0) const {
+    if (has_bd && d == rows) {
+      nm[0] = m0[d];
+      nx[0] = x0[d];
+      ny[0] = y0[d];
+    }
+    if (ilo <= rows && rows <= ihi) {
+      const std::size_t j = d - rows;
+      nm[j] = m0[rows];
+      nx[j] = x0[rows];
+      ny[j] = y0[rows];
+    }
+  }
+};
+
+/// Short inline copy: block diagonals are a few dozen floats, where an
+/// out-of-line memmove call costs more than the copy itself.
+inline void copy_floats(const float* src, float* dst, std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) dst[t] = src[t];
+}
+
+/// Traceback sink: stores every state value of the block, diagonal-major.
+/// Seed-row cells (has_b0) are filled by the caller before the run.
+struct BlockSink {
+  Block* blk;
+
+  void diagonal(std::size_t d, bool /*has_b0*/, std::size_t ilo,
+                std::size_t ihi, bool has_bd, const float* m0,
+                const float* x0, const float* y0) const {
+    const std::size_t base = d * blk->stride;
+    if (ilo <= ihi) {
+      const std::size_t len = ihi - ilo + 1;
+      copy_floats(m0 + ilo, blk->m.data() + base + ilo, len);
+      copy_floats(x0 + ilo, blk->x.data() + base + ilo, len);
+      copy_floats(y0 + ilo, blk->y.data() + base + ilo, len);
+    }
+    if (has_bd) {  // column-0 cell; always above the interior range
+      blk->m[base + d] = m0[d];
+      blk->x[base + d] = x0[d];
+      blk->y[base + d] = y0[d];
+    }
+  }
+};
+
+/// Runs rows [r0+1, r0+rows] x cols [0, jcap] over anti-diagonals, seeded
+/// with row r0's state values (seed_* index by column). Invokes
+/// sink.diagonal() after every diagonal.
+template <typename Sink>
+void run_block(const Geometry& g, const ScoreBlock& sb, std::size_t r0,
+               std::size_t rows, std::size_t jcap, const float* seed_m,
+               const float* seed_x, const float* seed_y, DiagWorkspace& ws,
+               Sink&& sink) {
+  ws.init(rows);
+  float* m2 = ws.lane(0);
+  float* x2 = ws.lane(1);
+  float* y2 = ws.lane(2);
+  float* m1 = ws.lane(3);
+  float* x1 = ws.lane(4);
+  float* y1 = ws.lane(5);
+  float* m0 = ws.lane(6);
+  float* x0 = ws.lane(7);
+  float* y0 = ws.lane(8);
+  float* sub = ws.lane(9);
+
+  const V vneg = V::splat(kNegInf);
+
+  // Monotone band pointers over block-local rows (absolute row r0 + i).
+  std::size_t pmin = 1;
+  std::size_t pmax = 0;
+  auto eff_hi = [&](std::size_t i) { return std::min(g.hi[r0 + i], jcap); };
+
+  const std::size_t last = rows + jcap;
+  for (std::size_t d = 0; d <= last; ++d) {
+    // Interior cells: i in [1, rows], j = d - i in [1, jcap], inside band.
+    std::size_t ilo = 1;
+    std::size_t ihi = 0;
+    if (d >= 2) {
+      ilo = d > jcap ? d - jcap : 1;
+      ihi = std::min(rows, d - 1);
+      while (pmin <= rows && pmin + eff_hi(pmin) < d) ++pmin;
+      while (pmax + 1 <= rows && (pmax + 1) + g.lo[r0 + pmax + 1] <= d)
+        ++pmax;
+      ilo = std::max(ilo, pmin);
+      ihi = std::min(ihi, pmax);
+    }
+
+    if (ilo <= ihi) {
+      for (std::size_t i = ilo; i <= ihi; ++i)
+        sub[i] = sb.at(i, d - i - 1);
+      const float* gb_open = g.rev_open_b.data() + ((g.n + ilo) - d);
+      const float* gb_ext = g.rev_ext_b.data() + ((g.n + ilo) - d);
+      const float* ga_open = g.open_a.data() + (r0 + ilo - 1);
+      const float* ga_ext = g.ext_a.data() + (r0 + ilo - 1);
+      for (std::size_t i = ilo; i <= ihi; i += kW) {
+        const std::size_t off = i - ilo;
+        // M from the up-left diagonal; the scalar clamp is a no-op on the
+        // exact-sentinel values both paths propagate (see file comment).
+        const V mv = align::engine::max3(V::load(m2 + i - 1),
+                                         V::load(x2 + i - 1),
+                                         V::load(y2 + i - 1)) +
+                     V::load(sub + i);
+        // Gap in A consuming B's column j-1: left neighbor, B-scaled gaps.
+        const V gbo = V::load(gb_open + off);
+        const V gbe = V::load(gb_ext + off);
+        const V xv = align::engine::max3(V::load(m1 + i) - gbo,
+                                         V::load(x1 + i) - gbe,
+                                         V::load(y1 + i) - gbo);
+        // Gap in B consuming A's column i-1: up neighbor, A-scaled gaps.
+        const V gao = V::load(ga_open + off);
+        const V gae = V::load(ga_ext + off);
+        const V yv = align::engine::max3(V::load(m1 + i - 1) - gao,
+                                         V::load(y1 + i - 1) - gae,
+                                         V::load(x1 + i - 1) - gao);
+        mv.store(m0 + i);
+        xv.store(x0 + i);
+        yv.store(y0 + i);
+      }
+      // Neutralize tail-lane overrun and mark the range edges for the next
+      // two diagonals (ranges shift by at most one per diagonal).
+      vneg.store(m0 + ihi + 1);
+      vneg.store(x0 + ihi + 1);
+      vneg.store(y0 + ihi + 1);
+      m0[ilo - 1] = kNegInf;
+      x0[ilo - 1] = kNegInf;
+      y0[ilo - 1] = kNegInf;
+    }
+
+    // Border cells: row r0 comes from the seed, column 0 from the
+    // accumulated leading-gap run (exactly the scalar boundary values).
+    const bool has_b0 = d <= jcap;
+    if (has_b0) {
+      m0[0] = seed_m[d];
+      x0[0] = seed_x[d];
+      y0[0] = seed_y[d];
+    }
+    const bool has_bd = d >= 1 && d <= rows;
+    if (has_bd) {
+      const std::size_t abs_row = r0 + d;
+      m0[d] = kNegInf;
+      x0[d] = kNegInf;
+      y0[d] = g.lo[abs_row] == 0 ? g.yborder[abs_row] : kNegInf;
+    }
+
+    sink.diagonal(d, has_b0, ilo, ihi, has_bd, m0, x0, y0);
+
+    // Rotate: current becomes d-1, d-1 becomes d-2, d-2 is recycled.
+    std::swap(m2, m1);
+    std::swap(x2, x1);
+    std::swap(y2, y1);
+    std::swap(m1, m0);
+    std::swap(x1, x0);
+    std::swap(y1, y0);
+  }
+}
+
+}  // namespace
+
+ProfileAlignResult profile_dp_wavefront(std::size_t m, std::size_t n,
+                                        const PspRowScorer& scorer,
+                                        std::span<const float> occ_a,
+                                        std::span<const float> occ_b,
+                                        const ProfileAlignOptions& opts) {
+  const Geometry g(m, n, occ_a, occ_b, opts);
+  const std::size_t ckpt_k = checkpoint_interval(m);
+
+  // Forward pass: row blocks of kRowBlock, each seeded by its predecessor's
+  // final row; every ckpt_k-th row (block-aligned by construction) is kept
+  // as a checkpoint for the traceback recompute.
+  util::Matrix<float> ck_m(m / ckpt_k + 1, n + 1, kNegInf);
+  util::Matrix<float> ck_x(m / ckpt_k + 1, n + 1, kNegInf);
+  util::Matrix<float> ck_y(m / ckpt_k + 1, n + 1, kNegInf);
+  for (std::size_t j = 0; j <= n; ++j) {
+    ck_m(0, j) = g.seed0_m[j];
+    ck_x(0, j) = g.seed0_x[j];
+    ck_y(0, j) = g.seed0_y[j];
+  }
+
+  std::vector<float> cur_m = g.seed0_m, cur_x = g.seed0_x, cur_y = g.seed0_y;
+  std::vector<float> next_m(n + 1), next_x(n + 1), next_y(n + 1);
+  ScoreBlock sb;
+  DiagWorkspace ws;
+  for (std::size_t r0 = 0; r0 < m; r0 += kRowBlock) {
+    const std::size_t rows = std::min(kRowBlock, m - r0);
+    sb.fill(scorer, g, r0, rows, n);
+    std::fill(next_m.begin(), next_m.end(), kNegInf);
+    std::fill(next_x.begin(), next_x.end(), kNegInf);
+    std::fill(next_y.begin(), next_y.end(), kNegInf);
+    run_block(g, sb, r0, rows, n, cur_m.data(), cur_x.data(), cur_y.data(),
+              ws, LastRowSink{rows, next_m.data(), next_x.data(),
+                              next_y.data()});
+    cur_m.swap(next_m);
+    cur_x.swap(next_x);
+    cur_y.swap(next_y);
+    const std::size_t row = r0 + rows;
+    if (row % ckpt_k == 0) {
+      const std::size_t r = row / ckpt_k;
+      for (std::size_t j = 0; j <= n; ++j) {
+        ck_m(r, j) = cur_m[j];
+        ck_x(r, j) = cur_x[j];
+        ck_y(r, j) = cur_y[j];
+      }
+    }
+  }
+
+  ProfileAlignResult out;
+  std::uint8_t state = kPdM;
+  {
+    float best = cur_m[n];
+    if (cur_x[n] > best) {
+      best = cur_x[n];
+      state = kPdX;
+    }
+    if (cur_y[n] > best) {
+      best = cur_y[n];
+      state = kPdY;
+    }
+    out.score = best;
+  }
+
+  // Traceback: recompute one block of rows (r0, top] at a time from the
+  // checkpoint at r0, storing state values; decisions are re-derived from
+  // the values with the scalar kernel's exact comparison chains.
+  Block blk;
+  bool blk_valid = false;
+  auto load_block = [&](std::size_t top, std::size_t jcap) {
+    const std::size_t r0 = (top - 1) / ckpt_k * ckpt_k;
+    const std::size_t r = r0 / ckpt_k;
+    blk.init(r0, top - r0 + 1, jcap, g.banded);
+    for (std::size_t j = 0; j <= jcap; ++j) {
+      const std::size_t at = j * blk.stride;  // seed row: local row 0
+      blk.m[at] = ck_m(r, j);
+      blk.x[at] = ck_x(r, j);
+      blk.y[at] = ck_y(r, j);
+    }
+    sb.fill(scorer, g, r0, top - r0, jcap);
+    run_block(g, sb, r0, top - r0, jcap, &ck_m(r, 0), &ck_x(r, 0),
+              &ck_y(r, 0), ws, BlockSink{&blk});
+    blk_valid = true;
+  };
+
+  const float open = g.open;
+  const float ext = g.ext;
+  auto came_from_at = [&](std::size_t i, std::size_t j) -> std::uint8_t {
+    // Boundary cells mirror the scalar path's preset decisions.
+    if (i == 0) return state == kPdX ? kPdX : kPdM;
+    if (j == 0) return state == kPdY && g.lo[i] == 0 ? kPdY : kPdM;
+    if (!blk_valid || i <= blk.r0) load_block(i, j);
+    switch (state) {
+      case kPdM: {
+        const float pm = blk.M(i - 1, j - 1);
+        const float px = blk.X(i - 1, j - 1);
+        const float py = blk.Y(i - 1, j - 1);
+        float best = pm;
+        std::uint8_t from = kPdM;
+        if (px > best) {
+          best = px;
+          from = kPdX;
+        }
+        if (py > best) from = kPdY;
+        return from;
+      }
+      case kPdX: {
+        const float gx_open = open * occ_b[j - 1];
+        const float gx_ext = ext * occ_b[j - 1];
+        const float open_x = blk.M(i, j - 1) - gx_open;
+        const float ext_x = blk.X(i, j - 1) - gx_ext;
+        const float via_y = blk.Y(i, j - 1) - gx_open;
+        if (ext_x >= open_x && ext_x >= via_y) return kPdX;
+        return open_x >= via_y ? kPdM : kPdY;
+      }
+      default: {
+        const float gy_open = open * occ_a[i - 1];
+        const float gy_ext = ext * occ_a[i - 1];
+        const float open_y = blk.M(i - 1, j) - gy_open;
+        const float ext_y = blk.Y(i - 1, j) - gy_ext;
+        const float via_x = blk.X(i - 1, j) - gy_open;
+        if (ext_y >= open_y && ext_y >= via_x) return kPdY;
+        return open_y >= via_x ? kPdM : kPdX;
+      }
+    }
+  };
+
+  std::size_t i = m;
+  std::size_t j = n;
+  while (i > 0 || j > 0) {
+    const std::uint8_t from = came_from_at(i, j);
+    switch (state) {
+      case kPdM:
+        out.ops.push_back(align::EditOp::Match);
+        --i;
+        --j;
+        break;
+      case kPdX:
+        out.ops.push_back(align::EditOp::GapInA);
+        --j;
+        break;
+      case kPdY:
+        out.ops.push_back(align::EditOp::GapInB);
+        --i;
+        break;
+      default: break;
+    }
+    state = from;
+  }
+  std::reverse(out.ops.begin(), out.ops.end());
+  return out;
+}
+
+}  // namespace salign::msa::detail

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "msa/tree_schedule.hpp"
+
 namespace salign::msa {
 
 Alignment progressive_align(std::span<const bio::Sequence> seqs,
@@ -26,14 +28,20 @@ Alignment progressive_align(std::span<const bio::Sequence> seqs,
                : opts.weights[static_cast<std::size_t>(leaf)];
   };
 
-  for (int id : tree.postorder()) {
+  // Each node is one task of the dependency-counting schedule: leaves are
+  // trivial conversions, internal nodes merge their two (completed)
+  // children. A task touches only its own node's slots and reads its
+  // children's, so results are bit-identical for every thread count — the
+  // merge at a node is a pure function of the children's alignments, which
+  // never depend on execution order.
+  schedule_tree(tree, opts.threads, [&](int id) {
     const TreeNode& nd = tree.node(static_cast<std::size_t>(id));
     auto& slot = partial[static_cast<std::size_t>(id)];
     if (tree.is_leaf(static_cast<std::size_t>(id))) {
       slot = Alignment::from_sequence(
           seqs[static_cast<std::size_t>(nd.leaf_index)]);
       row_weights[static_cast<std::size_t>(id)] = {weight_of(nd.leaf_index)};
-      continue;
+      return;
     }
 
     Alignment& left = partial[static_cast<std::size_t>(nd.left)];
@@ -55,12 +63,12 @@ Alignment progressive_align(std::span<const bio::Sequence> seqs,
     w.insert(w.end(), wl.begin(), wl.end());
     w.insert(w.end(), wr.begin(), wr.end());
 
-    // Free children eagerly; large runs hold O(depth) partials only.
+    // Free children eagerly; large runs hold O(live frontier) partials only.
     left = Alignment{};
     right = Alignment{};
     wl.clear();
     wr.clear();
-  }
+  });
 
   return partial[static_cast<std::size_t>(tree.root())];
 }

@@ -22,8 +22,15 @@ struct ProgressiveOptions {
   std::size_t band = 0;
   /// Optional per-merge band chooser: given the two sub-alignments about to
   /// be merged, returns the band half-width (0 = full DP). The MAFFT-style
-  /// aligner plugs its FFT anchor detection in here.
+  /// aligner plugs its FFT anchor detection in here. Must be thread-safe
+  /// when threads > 1 (merges of independent subtrees call it
+  /// concurrently).
   std::function<std::size_t(const Alignment&, const Alignment&)> band_provider;
+  /// Worker threads of the guide-tree task schedule (1 = the historical
+  /// serial postorder walk). Independent subtree merges run concurrently on
+  /// the shared util::ThreadPool; the output is bit-identical for every
+  /// value — each merge is a pure function of its children.
+  unsigned threads = 1;
 };
 
 /// Aligns `seqs` progressively along `tree` (leaves index into `seqs`),

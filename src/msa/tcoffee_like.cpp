@@ -9,6 +9,7 @@
 #include "msa/guide_tree.hpp"
 #include "msa/profile.hpp"
 #include "msa/profile_align.hpp"
+#include "msa/tree_schedule.hpp"
 #include "util/matrix.hpp"
 
 namespace salign::msa {
@@ -155,14 +156,17 @@ Alignment TCoffeeAligner::align(std::span<const bio::Sequence> seqs) const {
   // Sequence indices of the rows of each partial alignment.
   std::vector<std::vector<std::size_t>> members(tree.num_nodes());
 
-  for (int id : tree.postorder()) {
+  // Merges of independent subtrees run concurrently (the library is
+  // read-only by now); each task writes only its own node's slots, so the
+  // result is bit-identical for every thread count.
+  schedule_tree(tree, options_.threads, [&](int id) {
     const TreeNode& nd = tree.node(static_cast<std::size_t>(id));
     if (tree.is_leaf(static_cast<std::size_t>(id))) {
       partial[static_cast<std::size_t>(id)] = Alignment::from_sequence(
           seqs[static_cast<std::size_t>(nd.leaf_index)]);
       members[static_cast<std::size_t>(id)] = {
           static_cast<std::size_t>(nd.leaf_index)};
-      continue;
+      return;
     }
     Alignment& left = partial[static_cast<std::size_t>(nd.left)];
     Alignment& right = partial[static_cast<std::size_t>(nd.right)];
@@ -225,7 +229,7 @@ Alignment TCoffeeAligner::align(std::span<const bio::Sequence> seqs) const {
     m.insert(m.end(), mr.begin(), mr.end());
     left = Alignment{};
     right = Alignment{};
-  }
+  });
 
   // Restore input order.
   Alignment aln = partial[static_cast<std::size_t>(tree.root())];

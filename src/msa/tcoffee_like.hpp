@@ -20,9 +20,11 @@ struct TCoffeeOptions {
   /// 0-100 identity-weighted scores.
   float gap_open = 50.0F;
   float gap_extend = 1.0F;
-  /// Worker threads of the stage-1 pairwise library/distance pass
-  /// (1 = serial). The library is assembled serially in deterministic pair
-  /// order, so any value produces bit-identical alignments.
+  /// Worker threads of the stage-1 pairwise library/distance pass and of
+  /// the stage-3 progressive merge schedule (1 = serial). The library is
+  /// assembled serially in deterministic pair order and each merge is a
+  /// pure function of its children, so any value produces bit-identical
+  /// alignments.
   unsigned threads = 1;
 };
 

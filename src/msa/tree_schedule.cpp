@@ -1,0 +1,73 @@
+#include "msa/tree_schedule.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace salign::msa {
+
+void schedule_tree(const GuideTree& tree, unsigned threads,
+                   const std::function<void(int)>& node_fn) {
+  const std::size_t num_nodes = tree.num_nodes();
+  if (num_nodes == 0) return;
+  if (threads <= 1) {
+    for (int id : tree.postorder()) node_fn(id);
+    return;
+  }
+
+  // Dependency-counting work queue. Leaves seed the ready queue in
+  // postorder order so a single consumer reproduces the serial schedule;
+  // each completed child decrements its parent's count and the second one
+  // releases the parent.
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  std::deque<int> ready;
+  std::vector<int> pending(num_nodes, 0);
+  for (std::size_t i = 0; i < num_nodes; ++i)
+    if (!tree.is_leaf(i)) pending[i] = 2;
+  for (int id : tree.postorder())
+    if (tree.is_leaf(static_cast<std::size_t>(id))) ready.push_back(id);
+
+  std::size_t remaining = num_nodes;  // not yet completed
+  std::exception_ptr error;
+  bool abort = false;
+
+  util::ThreadPool::shared().run(threads - 1, [&] {
+    std::unique_lock lock(mu);
+    for (;;) {
+      ready_cv.wait(lock, [&] {
+        return abort || remaining == 0 || !ready.empty();
+      });
+      if (abort || remaining == 0) return;
+      const int id = ready.front();
+      ready.pop_front();
+      lock.unlock();
+
+      try {
+        node_fn(id);
+      } catch (...) {
+        lock.lock();
+        if (!error) error = std::current_exception();
+        abort = true;
+        ready_cv.notify_all();
+        return;
+      }
+
+      lock.lock();
+      --remaining;
+      const int parent = tree.node(static_cast<std::size_t>(id)).parent;
+      if (parent >= 0 && --pending[static_cast<std::size_t>(parent)] == 0)
+        ready.push_back(parent);
+      // Wake peers: a new task may be ready, or the schedule may be done.
+      if (remaining == 0 || !ready.empty()) ready_cv.notify_all();
+    }
+  });
+
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace salign::msa

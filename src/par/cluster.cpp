@@ -1,8 +1,11 @@
 #include "par/cluster.hpp"
 
+#include <atomic>
 #include <exception>
 #include <thread>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace salign::par {
 
@@ -61,16 +64,22 @@ void parallel_for(std::size_t n,
     fn(0, n);
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
+  // Chunk geometry is a pure function of (n, workers) — never of how many
+  // pool threads actually show up — so callers that rely on deterministic
+  // chunk boundaries get the same ranges for any pool load. Chunks are
+  // claimed from a shared counter by the caller plus up to workers-1 shared
+  // pool threads; the caller alone finishes the loop when the pool is busy.
   const std::size_t chunk = (n + workers - 1) / workers;
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& t : pool) t.join();
+  std::atomic<unsigned> next{0};
+  util::ThreadPool::shared().run(workers - 1, [&] {
+    for (unsigned w = next.fetch_add(1, std::memory_order_relaxed);
+         w < workers; w = next.fetch_add(1, std::memory_order_relaxed)) {
+      const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      fn(begin, end);
+    }
+  });
 }
 
 }  // namespace salign::par

@@ -259,6 +259,39 @@ TEST_F(CliTest, AlignToStdout) {
   EXPECT_NE(r.out.find('>'), std::string::npos);
 }
 
+TEST_F(CliTest, AlignThreadsNeverChangeOutput) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 10);
+  // --threads 0 (auto), 1 and an explicit count must print identical
+  // alignments, for both the sequential path and the pipeline.
+  for (const char* procs : {"1", "2"}) {
+    const Result serial = run(
+        argv({"align", "--in", in, "--procs", procs, "--threads", "1"}));
+    ASSERT_EQ(serial.status, 0) << serial.err;
+    for (const char* threads : {"0", "4"}) {
+      const Result threaded = run(argv(
+          {"align", "--in", in, "--procs", procs, "--threads", threads}));
+      ASSERT_EQ(threaded.status, 0) << threaded.err;
+      EXPECT_EQ(serial.out, threaded.out) << "procs " << procs
+                                          << " threads " << threads;
+    }
+  }
+}
+
+TEST_F(CliTest, AlignMuscleFastAlignerRoundTrips) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 8);
+  const Result r = run(argv({"align", "--in", in, "--procs", "1",
+                             "--aligner", "muscle-fast", "--threads", "2"}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  const auto seqs = bio::read_fasta_file(in);
+  std::istringstream is(r.out);
+  const msa::Alignment a = msa::read_aligned_fasta(is);
+  ASSERT_EQ(a.num_rows(), seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i)
+    EXPECT_EQ(a.degapped(i), seqs[i]);
+}
+
 TEST_F(CliTest, AlignStatsGoToStderr) {
   const std::string in = path("in.fasta");
   write_demo_fasta(in, 12);

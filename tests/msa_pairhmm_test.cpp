@@ -276,6 +276,64 @@ TEST(PairHmm, ExpectedAccuracyTracksDivergence) {
   }
 }
 
+TEST(PairHmm, CheckpointedForwardMatchesFullMatrix) {
+  // The checkpointed forward pass (max_forward_cells exceeded → K-th-row
+  // checkpoints + block recompute) must reproduce the full-matrix
+  // posteriors bit for bit: both paths run the identical row recurrence.
+  workload::EvolveParams ep;
+  ep.num_sequences = 2;
+  ep.root_length = 230;  // odd-sized, not a checkpoint-interval multiple
+  ep.mean_branch_distance = 0.6;
+  ep.seed = 23;
+  const auto fam = workload::evolve_family(ep);
+
+  PairHmmParams full_params;
+  const PairHmm full_hmm(SubstitutionMatrix::blosum62(), full_params);
+  PairHmmParams ck_params;
+  ck_params.max_forward_cells = 1;  // force checkpointing
+  const PairHmm ck_hmm(SubstitutionMatrix::blosum62(), ck_params);
+
+  for (const auto& [x, y] : {std::pair{0, 1}, std::pair{1, 0}}) {
+    const SparsePosterior a = full_hmm.posterior(
+        fam.sequences[static_cast<std::size_t>(x)],
+        fam.sequences[static_cast<std::size_t>(y)]);
+    const SparsePosterior b = ck_hmm.posterior(
+        fam.sequences[static_cast<std::size_t>(x)],
+        fam.sequences[static_cast<std::size_t>(y)]);
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.nonzeros(), b.nonzeros());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const auto ra = a.row(i);
+      const auto rb = b.row(i);
+      ASSERT_EQ(ra.size(), rb.size()) << "row " << i;
+      for (std::size_t k = 0; k < ra.size(); ++k) {
+        EXPECT_EQ(ra[k].col, rb[k].col) << i;
+        EXPECT_EQ(ra[k].prob, rb[k].prob) << i;  // bit-identical
+      }
+    }
+  }
+}
+
+TEST(PairHmm, CheckpointedForwardShortSequences) {
+  // Tiny inputs (m < checkpoint interval) on the forced-checkpoint path.
+  PairHmmParams p;
+  p.max_forward_cells = 1;
+  const PairHmm ck(SubstitutionMatrix::blosum62(), p);
+  const PairHmm full;
+  const Sequence sa = aa("a", "MKV");
+  const Sequence sb = aa("b", "MKVW");
+  const SparsePosterior pa = full.posterior(sa, sb);
+  const SparsePosterior pb = ck.posterior(sa, sb);
+  ASSERT_EQ(pa.nonzeros(), pb.nonzeros());
+  for (std::size_t i = 0; i < pa.rows(); ++i) {
+    const auto ra = pa.row(i);
+    const auto rb = pb.row(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t k = 0; k < ra.size(); ++k)
+      EXPECT_EQ(ra[k].prob, rb[k].prob);
+  }
+}
+
 // ---- ProbConsAligner specifics ----------------------------------------------
 
 TEST(ProbConsAligner, RejectsOversizedInput) {
