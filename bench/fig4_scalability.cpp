@@ -14,9 +14,12 @@
 #include <cstdio>
 #include <vector>
 
+#include <string>
+
 #include "bench_common.hpp"
 #include "core/sample_align_d.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/rose.hpp"
 
 int main() {
@@ -55,5 +58,46 @@ int main() {
   std::printf("\n%s\n", t.to_string().c_str());
   std::printf("paper reference points: 20000 seqs aligned in ~25 s on 16 "
               "procs; execution time decreases sharply with p.\n");
+
+  // Per-stage thread speedup from the PR 4 wall/CPU instrumentation: the
+  // same input once with threads=1 and once with the auto thread count,
+  // per-stage max wall seconds side by side. On a single-CPU container the
+  // ratio degenerates to ~1 (the correctness half — thread invariance — is
+  // test-pinned); on multi-core hosts this is the per-stage scaling table.
+  {
+    const std::size_t n = bench::scaled(5000, factor, 32);
+    const auto seqs = workload::rose_sequences(
+        {.num_sequences = n, .average_length = 300, .relatedness = 800,
+         .seed = 5000});
+    const unsigned auto_threads = util::default_threads();
+    core::PipelineStats serial;
+    core::PipelineStats threaded;
+    {
+      core::SampleAlignDConfig cfg;
+      cfg.num_procs = 4;
+      cfg.threads = 1;
+      (void)core::SampleAlignD(cfg).align(seqs, &serial);
+    }
+    {
+      core::SampleAlignDConfig cfg;
+      cfg.num_procs = 4;
+      cfg.threads = auto_threads;
+      (void)core::SampleAlignD(cfg).align(seqs, &threaded);
+    }
+    util::Table st({"stage", "wall s (1 thr)",
+                    "wall s (" + std::to_string(auto_threads) + " thr)",
+                    "speedup"});
+    for (std::size_t s = 0; s < serial.stages.size() &&
+                            s < threaded.stages.size();
+         ++s) {
+      const double w1 = serial.stages[s].max_wall_seconds();
+      const double wt = threaded.stages[s].max_wall_seconds();
+      st.add_row({serial.stages[s].name, util::fmt("%.4f", w1),
+                  util::fmt("%.4f", wt),
+                  wt > 0.0 ? util::fmt("%.2f", w1 / wt) : "-"});
+    }
+    std::printf("\nper-stage thread speedup (N=%zu, p=4, %u threads):\n%s\n",
+                n, auto_threads, st.to_string().c_str());
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "align/distance.hpp"
 #include "align/engine/batch.hpp"
 #include "align/engine/engine.hpp"
+#include "align/engine/pair_batch.hpp"
 #include "align/global.hpp"
 #include "align/local.hpp"
 #include "core/partition.hpp"
@@ -27,6 +29,7 @@
 #include "msa/progressive.hpp"
 #include "par/cluster.hpp"
 #include "util/rng.hpp"
+#include "util/string_util.hpp"
 #include "util/timer.hpp"
 #include "workload/rose.hpp"
 
@@ -205,13 +208,88 @@ void BM_DistanceMatrixKimura(benchmark::State& state) {
 }
 BENCHMARK(BM_DistanceMatrixKimura)->Arg(12);
 
+// ---- ALIGNED (identity/Kimura) distance matrix: tier comparison ---------------
+//
+// The end-to-end acceptance pair of the integer-traceback PR: the same
+// full-alignment distance pass once through the tier ladder (striped
+// int8/int16 traceback + batched int8 pair lanes) and once pinned to
+// kFloat — the pre-integer-traceback behavior. The short-sequence variant
+// sits in the inter-pair batch kernel's regime.
+
+/// Divergent family (~20-25% pairwise identity) of short sequences: the
+/// honest regime of the int8 tiers — distance-matrix pairs dissimilar
+/// enough not to blow the ceiling, the workload the guide-tree distance
+/// stage actually sees on remote homologs and short reads.
+std::vector<bio::Sequence> divergent_family(std::size_t n, std::size_t len,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> root(len);
+  for (auto& c : root) c = static_cast<std::uint8_t>(rng.below(20));
+  std::vector<bio::Sequence> seqs;
+  for (std::size_t s = 0; s < n; ++s) {
+    auto codes = root;
+    codes.resize(len - 5 + rng.below(11), 0);
+    for (auto& c : codes)
+      if (rng.chance(0.8)) c = static_cast<std::uint8_t>(rng.below(20));
+    seqs.emplace_back(util::indexed_name("d", s), std::move(codes),
+                      bio::AlphabetKind::AminoAcid);
+  }
+  return seqs;
+}
+
+void distance_matrix_aligned_bench(benchmark::State& state,
+                                   std::span<const bio::Sequence> seqs,
+                                   align::engine::ScoreTier tier) {
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  align::PairDistanceOptions opt;
+  opt.first_tier = tier;
+  align::PairDistanceStats stats;
+  opt.stats = &stats;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        align::alignment_distance_matrix(seqs, m, m.default_gaps(), opt));
+  set_cells_per_second(state, pair_cells(seqs));
+  state.counters["batched_int8"] = static_cast<double>(stats.batched_int8);
+  state.counters["int8_runs"] = static_cast<double>(stats.ladder.int8_runs);
+  state.counters["int16_runs"] = static_cast<double>(stats.ladder.int16_runs);
+  state.counters["float_runs"] = static_cast<double>(stats.ladder.float_runs);
+}
+void BM_DistanceMatrixAligned(benchmark::State& state) {
+  const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 200);
+  distance_matrix_aligned_bench(state, seqs, align::engine::ScoreTier::kAuto);
+}
+BENCHMARK(BM_DistanceMatrixAligned)->Arg(16);
+void BM_DistanceMatrixAlignedFloat(benchmark::State& state) {
+  const auto seqs = seqs_cache(static_cast<std::size_t>(state.range(0)), 200);
+  distance_matrix_aligned_bench(state, seqs,
+                                align::engine::ScoreTier::kFloat);
+}
+BENCHMARK(BM_DistanceMatrixAlignedFloat)->Arg(16);
+void BM_DistanceMatrixAlignedShort(benchmark::State& state) {
+  const auto seqs =
+      divergent_family(static_cast<std::size_t>(state.range(0)), 80, 11);
+  distance_matrix_aligned_bench(state, seqs, align::engine::ScoreTier::kAuto);
+}
+BENCHMARK(BM_DistanceMatrixAlignedShort)->Arg(32);
+void BM_DistanceMatrixAlignedShortFloat(benchmark::State& state) {
+  const auto seqs =
+      divergent_family(static_cast<std::size_t>(state.range(0)), 80, 11);
+  distance_matrix_aligned_bench(state, seqs,
+                                align::engine::ScoreTier::kFloat);
+}
+BENCHMARK(BM_DistanceMatrixAlignedShortFloat)->Arg(32);
+
+// Pinned to the float tier so these rows keep measuring the float
+// checkpointed kernel (comparable with the pre-integer baselines); the
+// striped traceback tiers have their own benches below.
 void engine_global_align_bench(benchmark::State& state,
                                align::engine::Backend backend) {
   const auto seqs = seqs_cache(2, static_cast<std::size_t>(state.range(0)));
   const auto& m = bio::SubstitutionMatrix::blosum62();
   for (auto _ : state)
     benchmark::DoNotOptimize(align::engine::global_align(
-        seqs[0].codes(), seqs[1].codes(), m, {}, backend));
+        seqs[0].codes(), seqs[1].codes(), m, {}, backend,
+        align::engine::ScoreTier::kFloat));
   set_cells_per_second(state, seqs[0].codes().size() * seqs[1].codes().size());
 }
 void BM_EngineGlobalAlignVector(benchmark::State& state) {
@@ -222,6 +300,70 @@ void BM_EngineGlobalAlignScalar(benchmark::State& state) {
   engine_global_align_bench(state, align::engine::Backend::kScalar);
 }
 BENCHMARK(BM_EngineGlobalAlignScalar)->Arg(400)->Arg(1000);
+
+// ---- striped integer FULL-alignment tiers --------------------------------------
+//
+// AlignBatch reuses one striped profile + workspace across counterparts,
+// exactly as the identity/Kimura distance drivers do. Same honest-regime
+// workload as the score benches (divergent mutants inside the rails); the
+// "promotions" counter reports regime drift.
+
+void engine_align_striped_bench(benchmark::State& state, std::size_t len,
+                                align::engine::ScoreTier tier) {
+  std::vector<std::uint8_t> query;
+  const auto others = mutant_pairs(len, 16, 99, query);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const bio::GapPenalties gaps{10.0F, 1.0F};
+  align::engine::AlignBatch batch(query, m, gaps,
+                                  align::engine::default_backend(), tier);
+  for (auto _ : state)
+    for (const auto& o : others) benchmark::DoNotOptimize(batch.align(o));
+  set_cells_per_second(state, others.size() * len * len);
+  state.counters["promotions"] =
+      static_cast<double>(batch.stats().promotions);
+}
+void BM_EngineAlignStripedInt8(benchmark::State& state) {
+  engine_align_striped_bench(state, static_cast<std::size_t>(state.range(0)),
+                             align::engine::ScoreTier::kInt8);
+}
+BENCHMARK(BM_EngineAlignStripedInt8)->Arg(94);
+void BM_EngineAlignStripedInt16(benchmark::State& state) {
+  engine_align_striped_bench(state, static_cast<std::size_t>(state.range(0)),
+                             align::engine::ScoreTier::kInt16);
+}
+BENCHMARK(BM_EngineAlignStripedInt16)->Arg(400)->Arg(1000);
+
+// One lane per pair: 16 short pairwise alignments per kernel pass, the
+// short-read regime of the distance stage.
+void BM_EnginePairBatchAlign8(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const bio::GapPenalties gaps{10.0F, 1.0F};
+  align::engine::PairBatch pb(m, gaps);
+  std::vector<std::uint8_t> query;
+  const auto others = mutant_pairs(len, 2 * pb.lanes(), 7, query);
+  std::vector<align::engine::PairBatch::Pair> pairs;
+  for (std::size_t l = 0; l < pb.lanes(); ++l)
+    pairs.push_back({others[2 * l], others[2 * l + 1]});
+  std::vector<align::PairwiseAlignment> outs(pairs.size());
+  std::size_t retried = 0;
+  for (auto _ : state) {
+    const std::unique_ptr<bool[]> okp(new bool[pairs.size()]());
+    pb.align(pairs, outs.data(), okp.get());
+    for (std::size_t l = 0; l < pairs.size(); ++l)
+      if (!okp[l]) ++retried;
+    benchmark::DoNotOptimize(outs.data());
+  }
+  set_cells_per_second(state, pairs.size() * len * len);
+  // Saturated lanes PER PASS (the workload is fixed, so every iteration
+  // flags the same lanes — divide the accumulation back out).
+  state.counters["saturated_lanes"] =
+      state.iterations() > 0
+          ? static_cast<double>(retried) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_EnginePairBatchAlign8)->Arg(64)->Arg(90);
 
 void BM_BandedAlign(benchmark::State& state) {
   const auto seqs = seqs_cache(2, 400);

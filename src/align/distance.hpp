@@ -5,6 +5,7 @@
 #include <span>
 #include <utility>
 
+#include "align/engine/batch.hpp"
 #include "align/engine/engine.hpp"
 #include "align/pairwise.hpp"
 #include "bio/sequence.hpp"
@@ -26,7 +27,11 @@ inline constexpr double kMaxGuideTreeDistance = 5.0;
 /// Kimura's (1983) correction of fractional identity into an evolutionary
 /// distance: D = 1 - identity, d = -ln(1 - D - D^2/5). CLUSTALW uses this
 /// transform for its guide-tree distances; saturates (and is clamped to
-/// kMaxGuideTreeDistance) for identity below ~25%.
+/// kMaxGuideTreeDistance) once the log argument reaches
+/// exp(-kMaxGuideTreeDistance), i.e. identity below ~15% (the argument's
+/// root sits at D ~ 0.854). The clamp is a saturation, not a cliff: values
+/// approach the cap continuously from below (pinned in
+/// tests/align_traceback_test.cpp).
 [[nodiscard]] double kimura_distance(double fractional_identity);
 
 /// Convenience: globally aligns and returns the Kimura distance. This is
@@ -68,6 +73,18 @@ struct PairAlignments {
   LocalAlignment local;  ///< filled iff PairDistanceOptions::with_local
 };
 
+/// Where the pairs of one alignment_distance_matrix call were computed.
+/// Every route is bit-identical to the reference kernels; the split is the
+/// perf story of the pass (CLI stats surface it).
+struct PairDistanceStats {
+  std::size_t pairs = 0;          ///< total pairs aligned
+  std::size_t batched_int8 = 0;   ///< inter-pair int8 lanes (engine::PairBatch)
+  std::size_t batch_retries = 0;  ///< batched lanes that saturated a rail
+  engine::AlignBatch::Stats ladder;  ///< per-pair tier-ladder kernel runs
+
+  PairDistanceStats& operator+=(const PairDistanceStats& o);
+};
+
 struct PairDistanceOptions {
   /// Band half-width of the pairwise DP (0 = full global alignment).
   std::size_t band = 0;
@@ -78,6 +95,14 @@ struct PairDistanceOptions {
   /// T-Coffee primary library wants both.
   bool with_local = false;
   engine::Backend backend = engine::default_backend();
+  /// Where the per-pair full-alignment tier ladder starts (kAuto = batched
+  /// int8 lanes for short pairs, striped int8/int16 traceback otherwise,
+  /// float on promotion; kFloat pins the pre-integer-traceback behavior).
+  /// Only band == 0 passes use the integer tiers — banded alignments keep
+  /// the float banded kernel. Results are identical for every value.
+  engine::ScoreTier first_tier = engine::ScoreTier::kAuto;
+  /// When non-null, receives the pass's per-tier pair counts.
+  PairDistanceStats* stats = nullptr;
 };
 
 /// Serial per-pair callback of alignment_distance_matrix, invoked in

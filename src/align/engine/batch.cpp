@@ -89,6 +89,129 @@ struct ImplT final : ScoreBatch::Impl {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// AlignBatch: full alignments through the same ladder
+// ---------------------------------------------------------------------------
+
+AlignBatch::Stats& AlignBatch::Stats::operator+=(const Stats& o) {
+  int8_runs += o.int8_runs;
+  int16_runs += o.int16_runs;
+  float_runs += o.float_runs;
+  promotions += o.promotions;
+  trace_promotions += o.trace_promotions;
+  return *this;
+}
+
+struct AlignBatch::Impl {
+  virtual ~Impl() = default;
+  virtual void build() = 0;
+  virtual PairwiseAlignment align(std::span<const std::uint8_t> other) = 0;
+  [[nodiscard]] virtual std::size_t bytes() const = 0;
+
+  std::vector<std::uint8_t> query;
+  const bio::SubstitutionMatrix* matrix = nullptr;
+  bio::GapPenalties gaps;
+  ScoreTier first_tier = ScoreTier::kAuto;
+  detail::IntGate gate;
+  Stats stats;
+};
+
+namespace {
+
+/// Aligning against an empty sequence is a single gap run; reproduce the
+/// reference kernels' degenerate outputs exactly (engine.cpp does the same
+/// for the float path).
+PairwiseAlignment empty_edge_align(std::size_t m, std::size_t n,
+                                   bio::GapPenalties gaps) {
+  PairwiseAlignment out;
+  out.ops.assign(std::max(m, n), m == 0 ? EditOp::GapInA : EditOp::GapInB);
+  if (!out.ops.empty())
+    out.score =
+        -(gaps.open + gaps.extend * static_cast<float>(out.ops.size() - 1));
+  return out;
+}
+
+template <typename V8, typename V16, typename VF>
+struct AlignImplT final : AlignBatch::Impl {
+  detail::StripedProfile<V8> p8;
+  detail::StripedProfile<V16> p16;
+  bool p16_built = false;
+  detail::StripedAlignWorkspace<V8> ws8;
+  detail::StripedAlignWorkspace<V16> ws16;
+
+  void build() override {
+    if (first_tier == ScoreTier::kFloat) return;  // gate never consulted
+    gate = detail::scan_int_gate(*matrix, gaps);
+    if (first_tier == ScoreTier::kAuto || first_tier == ScoreTier::kInt8)
+      p8 = detail::StripedProfile<V8>(query, *matrix, gate);
+  }
+
+  PairwiseAlignment align(std::span<const std::uint8_t> other) override {
+    if (query.empty() || other.empty())
+      return empty_edge_align(query.size(), other.size(), gaps);
+    PairwiseAlignment out;
+    bool trace = false;
+    if (first_tier <= ScoreTier::kInt8 && p8.viable() &&
+        p8.viable_for(other.size())) {
+      ++stats.int8_runs;
+      if (detail::striped_align(p8, other, ws8, &out, &trace)) return out;
+      ++stats.promotions;
+      if (trace) ++stats.trace_promotions;
+    }
+    if (first_tier <= ScoreTier::kInt16) {
+      if (!p16_built) {
+        p16 = detail::StripedProfile<V16>(query, *matrix, gate);
+        p16_built = true;
+      }
+      if (p16.viable() && p16.viable_for(other.size())) {
+        ++stats.int16_runs;
+        if (detail::striped_align(p16, other, ws16, &out, &trace)) return out;
+        ++stats.promotions;
+        if (trace) ++stats.trace_promotions;
+      }
+    }
+    ++stats.float_runs;
+    return detail::global_align_impl<VF>(query, other, *matrix, gaps, 0,
+                                         false);
+  }
+
+  [[nodiscard]] std::size_t bytes() const override {
+    return p8.bytes() + p16.bytes() + ws8.bytes() + ws16.bytes() +
+           query.capacity();
+  }
+};
+
+}  // namespace
+
+AlignBatch::AlignBatch(std::span<const std::uint8_t> query,
+                       const bio::SubstitutionMatrix& matrix,
+                       bio::GapPenalties gaps, Backend backend,
+                       ScoreTier first_tier) {
+  if (backend == Backend::kScalar)
+    impl_ = std::make_unique<AlignImplT<ScalarI8, ScalarI16, ScalarF>>();
+  else
+    impl_ = std::make_unique<AlignImplT<VecI8, VecI16, VecF>>();
+  impl_->query.assign(query.begin(), query.end());
+  impl_->matrix = &matrix;
+  impl_->gaps = gaps;
+  impl_->first_tier = first_tier;
+  impl_->build();
+}
+
+AlignBatch::~AlignBatch() = default;
+AlignBatch::AlignBatch(AlignBatch&&) noexcept = default;
+AlignBatch& AlignBatch::operator=(AlignBatch&&) noexcept = default;
+
+PairwiseAlignment AlignBatch::align(std::span<const std::uint8_t> other) {
+  return impl_->align(other);
+}
+
+std::size_t AlignBatch::query_length() const { return impl_->query.size(); }
+
+const AlignBatch::Stats& AlignBatch::stats() const { return impl_->stats; }
+
+std::size_t AlignBatch::workspace_bytes() const { return impl_->bytes(); }
+
 ScoreBatch::ScoreBatch(std::span<const std::uint8_t> query,
                        const bio::SubstitutionMatrix& matrix,
                        bio::GapPenalties gaps, Backend backend,

@@ -58,4 +58,59 @@ class ScoreBatch {
   std::unique_ptr<Impl> impl_;
 };
 
+/// One query sequence profiled once, FULL-aligned (score + traceback)
+/// against many counterparts — the unit of work of an identity/Kimura
+/// distance-matrix row. The full-alignment sibling of ScoreBatch: each
+/// align() runs the striped integer tiers with the column-checkpointed
+/// integer traceback (striped_align) through the same promotion ladder,
+/// falling back to the float engine's checkpointed kernel.
+///
+/// Results (score, ops, tie-breaks) are bit-identical to
+/// engine::reference::global_align on every input. The alignment tiers
+/// promote on a stricter rail than the score tiers — the traceback reads
+/// E/F cell values directly, so a floor-clamped E/F promotes even when the
+/// score would have been exact (see striped.hpp); Stats::trace_promotions
+/// counts those late promotions separately. Like ScoreBatch, align() is NOT
+/// thread-safe — one AlignBatch per thread.
+class AlignBatch {
+ public:
+  struct Stats {
+    std::size_t int8_runs = 0;   ///< int8 kernel passes (incl. saturated)
+    std::size_t int16_runs = 0;  ///< int16 kernel passes (incl. saturated)
+    std::size_t float_runs = 0;  ///< float kernel passes
+    std::size_t promotions = 0;  ///< runs that saturated and retried wider
+    /// Promotions raised during the traceback (a recomputed block found a
+    /// floor-clamped E/F cell) rather than by the forward pass's H rails.
+    std::size_t trace_promotions = 0;
+
+    Stats& operator+=(const Stats& o);
+  };
+
+  AlignBatch(std::span<const std::uint8_t> query,
+             const bio::SubstitutionMatrix& matrix, bio::GapPenalties gaps,
+             Backend backend = default_backend(),
+             ScoreTier first_tier = ScoreTier::kAuto);
+  ~AlignBatch();
+  AlignBatch(AlignBatch&&) noexcept;
+  AlignBatch& operator=(AlignBatch&&) noexcept;
+  AlignBatch(const AlignBatch&) = delete;
+  AlignBatch& operator=(const AlignBatch&) = delete;
+
+  /// Full global alignment of the query vs `other`, bit-identical to the
+  /// reference kernels. Not thread-safe (mutates the reusable workspace).
+  [[nodiscard]] PairwiseAlignment align(std::span<const std::uint8_t> other);
+
+  [[nodiscard]] std::size_t query_length() const;
+  [[nodiscard]] const Stats& stats() const;
+
+  /// Bytes currently held: striped profiles, DP columns, checkpoint and
+  /// block stores. O((m + n) * sqrt(n)) — never O(m * n).
+  [[nodiscard]] std::size_t workspace_bytes() const;
+
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 }  // namespace salign::align::engine

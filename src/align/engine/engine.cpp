@@ -74,12 +74,16 @@ float global_score(std::span<const std::uint8_t> a,
 PairwiseAlignment global_align(std::span<const std::uint8_t> a,
                                std::span<const std::uint8_t> b,
                                const bio::SubstitutionMatrix& matrix,
-                               bio::GapPenalties gaps, Backend backend) {
+                               bio::GapPenalties gaps, Backend backend,
+                               ScoreTier first_tier) {
+  // One-shot calls run the full AlignBatch tier ladder too: the striped
+  // integer traceback tiers are bit-identical to the float kernels, and the
+  // O(alphabet * m) profile build is amortized by the O(m * n) DP. Callers
+  // aligning one query against many should build the AlignBatch themselves.
   PairwiseAlignment out;
   if (empty_edge_global(a.size(), b.size(), gaps, out)) return out;
-  if (backend == Backend::kScalar)
-    return detail::global_align_impl<ScalarF>(a, b, matrix, gaps, 0, false);
-  return detail::global_align_impl<VecF>(a, b, matrix, gaps, 0, false);
+  AlignBatch batch(a, matrix, gaps, backend, first_tier);
+  return batch.align(b);
 }
 
 PairwiseAlignment banded_global_align(std::span<const std::uint8_t> a,

@@ -68,16 +68,21 @@ enum class ScoreTier : std::uint8_t { kAuto = 0, kInt8, kInt16, kFloat };
                                  std::size_t* workspace_bytes = nullptr,
                                  ScoreTier first_tier = ScoreTier::kAuto);
 
-/// Full global alignment with checkpointed traceback: the forward pass keeps
-/// every sqrt(m)-th row of the three DP state values and the traceback
-/// re-derives decisions block by block, so no O(m·n) traceback matrix is
-/// ever materialized. Results (score, ops, tie-breaks) are identical to the
-/// retained scalar reference kernel.
+/// Full global alignment with checkpointed traceback, through the same
+/// tier ladder as global_score: striped int8/int16 kernels with the
+/// column-checkpointed integer traceback where the rails allow, the float
+/// anti-diagonal kernel (row checkpoints + block recompute) otherwise. No
+/// O(m·n) traceback matrix is ever materialized on any tier. Results
+/// (score, ops, tie-breaks) are identical to the retained scalar reference
+/// kernel for every `first_tier` value. To align one query against many,
+/// build an engine::AlignBatch (batch.hpp) — it amortizes the striped
+/// profile across counterparts.
 [[nodiscard]] PairwiseAlignment global_align(std::span<const std::uint8_t> a,
                                              std::span<const std::uint8_t> b,
                                              const bio::SubstitutionMatrix& matrix,
                                              bio::GapPenalties gaps,
-                                             Backend backend);
+                                             Backend backend,
+                                             ScoreTier first_tier = ScoreTier::kAuto);
 
 /// Banded global alignment (same band geometry as the historical
 /// banded_global_align: band half-width widened by the length difference).

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 #include "align/engine/simd.hpp"
 
@@ -41,6 +42,9 @@ struct ScalarIntT {
   static Elem encode(int logical) { return static_cast<Elem>(logical + kBias); }
   static int decode(Elem e) { return static_cast<int>(e) - kBias; }
   static Elem encode_delta(int d) { return static_cast<Elem>(d); }
+  static int decode_delta(Elem e) {
+    return static_cast<int>(static_cast<std::make_signed_t<Elem>>(e));
+  }
 
   static ScalarIntT splat(Elem x) { return {x}; }
   static ScalarIntT load(const Elem* p) { return {*p}; }
@@ -77,6 +81,9 @@ struct VecIntT {
   static Elem encode(int logical) { return static_cast<Elem>(logical + kBias); }
   static int decode(Elem e) { return static_cast<int>(e) - kBias; }
   static Elem encode_delta(int d) { return static_cast<Elem>(d); }
+  static int decode_delta(Elem e) {
+    return static_cast<int>(static_cast<std::make_signed_t<Elem>>(e));
+  }
 
   static VecIntT splat(Elem x) {
     return {static_cast<Elem>(x) - Native{}};

@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "align/engine/int_trace.hpp"
 #include "bio/alphabet.hpp"
 
 #if defined(__SSE2__)
@@ -143,22 +144,15 @@ StripedProfile<VI>::StripedProfile(std::span<const std::uint8_t> query,
                                    const bio::SubstitutionMatrix& matrix,
                                    const IntGate& gate)
     : m_(query.size()), gate_(gate) {
-  using Lim = std::numeric_limits<Elem>;
   if (!gate.integral || m_ == 0) return;
 
-  const int max_neg_step =
-      std::max({gate.open + 1, gate.ext, gate.max_neg});
-  const int max_pos_step = gate.max_pos;
-  // Rails in LOGICAL values; the trait's bias maps logical [min, max] onto
-  // its storage range.
-  const int lo = static_cast<int>(Lim::min()) - VI::kBias;
-  const int hi = static_cast<int>(Lim::max()) - VI::kBias;
-  const int floor_l = lo + max_neg_step;
-  const int ceil_l = hi - max_pos_step;
-  // The rails must leave a usable operating range around 0 (H(0,0) = 0).
-  if (floor_l >= -1 || ceil_l <= 1) return;
-  floor_ = floor_l;
-  ceil_ = ceil_l;
+  // Rails in LOGICAL values (int_rails is the single shared definition;
+  // the trait's bias maps logical [min, max] onto its storage range). The
+  // rails must leave a usable operating range around 0 (H(0,0) = 0).
+  const IntRails rails = int_rails<VI>(gate);
+  if (!rails.usable) return;
+  floor_ = rails.floor_l;
+  ceil_ = rails.ceil_l;
 
   constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
   segs_ = (m_ + kW - 1) / kW;
@@ -166,7 +160,7 @@ StripedProfile<VI>::StripedProfile(std::span<const std::uint8_t> query,
   // their derived E seeds must sit strictly above the floor rail (padded
   // rows clamp — they are inert); viable_for() re-checks with the
   // counterpart's length.
-  if (!StripedProfile::viable_for_impl(m_ + 1, gate_, floor_l)) return;
+  if (!StripedProfile::viable_for_impl(m_ + 1, gate_, floor_)) return;
 
   const auto alpha = static_cast<std::size_t>(
       bio::Alphabet::get(matrix.alphabet_kind()).size());
@@ -195,74 +189,116 @@ template <typename VI>
 bool StripedProfile<VI>::viable_for_impl(std::size_t max_len,
                                          const IntGate& gate,
                                          std::int64_t floor64) {
-  // Deepest boundary-adjacent value the kernel materializes exactly: a
-  // boundary gap run of max_len extends, re-opened once (the E seed /
-  // lazy-F seed), with one worst-case substitution of slack so that
-  // near-boundary interior cells do not routinely brush the rail.
-  const std::int64_t need =
-      static_cast<std::int64_t>(gate.open) +
-      std::max<std::int64_t>(gate.open, gate.max_neg) +
-      static_cast<std::int64_t>(gate.ext) *
-          static_cast<std::int64_t>(max_len);
-  return need <= -floor64 - 1;
+  // boundary_need (striped.hpp) is the shared deepest-boundary-value
+  // formula; PairBatch inverts the same bound for its eligibility cap.
+  return boundary_need(gate, max_len) <= -floor64 - 1;
 }
 
+// striped_score is defined below, after AlignPass: both the score pass and
+// the alignment passes run AlignPass::run_column, so the score/alignment
+// tier agreement is structural, not by parallel maintenance.
+
+// ---------------------------------------------------------------------------
+// Striped full alignment (column-checkpointed traceback)
+//
+// The forward pass is the score kernel's column walk with two additions:
+// every ~sqrt(n)-th column it captures a checkpoint (the column's FINAL H —
+// the pending carry applied to a copy — plus the raw E array, whose
+// read-time re-max against final-H-minus-open regenerates the exact E of
+// the next column), and the walk is factored through AlignPass::run_column
+// so the traceback's block recompute runs the exact same operations.
+//
+// The traceback walks the reference kernel's came_from chains
+// (int_trace.hpp) over exact cell values. A block recompute restarts at the
+// nearest checkpoint c0 <= j-2 with no pending carry (the checkpoint is
+// final by construction) and stores, for each recomputed column, the final
+// H, E and F:
+//   * E(i,j) is the carry-corrected value the kernel computes when it reads
+//     the E array back — captured for free in the main loop;
+//   * F(i,j) = max(F_main, g[l] - ext*k): the main pass's within-lane chain,
+//     re-maxed with the column's cross-lane carry decayed ext per row — the
+//     same correction the deferred H sweep applies, so both are produced by
+//     one fused post-scan sweep per column.
+// The reference states then are X = E, Y = F, M(i,j) = H(i-1,j-1) + sub.
+//
+// Alignment-tier rails: score-only passes may let E/F clamp at the floor
+// (a clamp only matters if it wins a cell, which pins H to the rail and is
+// caught), but the traceback reads E/F values directly, so any recomputed
+// block whose E or F sat on the floor in a REAL lane aborts the traceback
+// and promotes. Padded lanes sit at the floor by construction; the
+// workspace's pad_guard masks them out of the check.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Column-checkpoint spacing: ~sqrt(n), clamped like the float engine's row
+/// interval so tiny problems run as one block.
+std::size_t column_interval(std::size_t n) {
+  const auto root =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  return std::clamp<std::size_t>(root, 32, 4096);
+}
+
+/// Per-stripe sink of AlignPass::run_column: the forward pass stores
+/// nothing, the block pass captures the final E and the pre-carry F.
+struct NoCells {
+  template <typename VI>
+  void cell(std::size_t, VI, VI) {}
+};
+
 template <typename VI>
-bool striped_score(const StripedProfile<VI>& profile,
-                   std::span<const std::uint8_t> other,
-                   StripedWorkspace<VI>& ws, float* score) {
+struct StoreCells {
   using Elem = typename VI::Elem;
-  constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
-  const std::size_t t = profile.segs();
-  const std::size_t m = profile.query_len();
-  const std::size_t n = other.size();
-  const auto open64 = static_cast<std::int64_t>(profile.gate().open);
-  const auto ext64 = static_cast<std::int64_t>(profile.gate().ext);
-  const int floor_l = profile.floor_rail();
-  const int ceil_l = profile.ceil_rail();
-  const Elem floor_enc = VI::encode(floor_l);
-  const Elem ceil_enc = VI::encode(ceil_l);
+  Elem* e_col;
+  Elem* f_col;
+  const Elem* guard;  // per-slot pad guard (see StripedAlignWorkspace)
+  VI* e_track;        // running min of guarded E
 
-  ws.ensure(t * kW);
-  Elem* h_cur = ws.h_a.data();
-  Elem* h_prev = ws.h_b.data();
-  Elem* e = ws.e.data();
-
-  // Column 0: H(i,0) = -(open + ext*(i-1)) and the first-column E seed
-  // E(i,1) = H(i,0) - open (E(i,0) = -inf never survives the max). Real
-  // rows are rail-safe by viable_for(); padded rows (i > m) clamp to just
-  // above the floor — lane shifts only move values toward HIGHER lanes and
-  // real rows occupy the low lanes, so padded values are inert and merely
-  // must not raise spurious saturation flags.
-  const auto floor64 = static_cast<std::int64_t>(floor_l);
-  for (std::size_t l = 0; l < kW; ++l) {
-    for (std::size_t k = 0; k < t; ++k) {
-      const auto i = static_cast<std::int64_t>(l * t + k) + 1;
-      const std::int64_t h =
-          std::max(-(open64 + ext64 * (i - 1)), floor64 + 1);
-      h_cur[k * kW + l] = VI::encode(static_cast<int>(h));
-      e[k * kW + l] =
-          VI::encode(static_cast<int>(std::max(h - open64, floor64)));
-    }
+  void cell(std::size_t k, VI v_e, VI v_f_main) {
+    constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+    v_e.store(e_col + k * kW);
+    v_f_main.store(f_col + k * kW);
+    *e_track = VI::min(*e_track, VI::max(v_e, VI::load(guard + k * kW)));
   }
+};
 
-  const VI v_floor = VI::splat(floor_enc);
-  const VI v_ceil = VI::splat(ceil_enc);
-  const VI v_open = VI::splat(VI::encode_delta(static_cast<int>(open64)));
-  const VI v_ext = VI::splat(VI::encode_delta(static_cast<int>(ext64)));
-  VI v_sat_max = v_floor;
-  VI v_sat_min = v_ceil;
+/// Shared constants + the column body of the striped alignment kernel. The
+/// forward and block passes both run run_column, so the recomputed block
+/// values are bit-identical to the forward pass by construction.
+template <typename VI>
+struct AlignPass {
+  using Elem = typename VI::Elem;
+  static constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
 
-  // Per-pair constants of the scan: at shift distance `step` lanes the
-  // carry has decayed ext*t*step. Decays beyond the live value range floor
-  // out; the max-with-guard before subtracting keeps the subtraction inside
-  // the storage range (deltas wider than the element type wrap — harmless,
-  // the guarded operand makes the result exact). Shifted-in lanes carry the
-  // floor sentinel.
-  const std::int64_t ext_lane = ext64 * static_cast<std::int64_t>(t);
-  const int range = ceil_l - floor_l;
+  const StripedProfile<VI>& profile;
+  std::span<const std::uint8_t> other;
+  std::size_t t, m, n, slots;
+  std::int64_t open64, ext64;
+  int floor_l, ceil_l;
+  Elem floor_enc, ceil_enc;
+  VI v_floor, v_ceil, v_open, v_ext;
   VI g_decay[6], g_guard[6], g_fill[6];
-  {
+  VI v_last_decay, v_last_guard;
+
+  AlignPass(const StripedProfile<VI>& p, std::span<const std::uint8_t> o)
+      : profile(p),
+        other(o),
+        t(p.segs()),
+        m(p.query_len()),
+        n(o.size()),
+        slots(t * kW),
+        open64(p.gate().open),
+        ext64(p.gate().ext),
+        floor_l(p.floor_rail()),
+        ceil_l(p.ceil_rail()),
+        floor_enc(VI::encode(floor_l)),
+        ceil_enc(VI::encode(ceil_l)),
+        v_floor(VI::splat(floor_enc)),
+        v_ceil(VI::splat(ceil_enc)),
+        v_open(VI::splat(VI::encode_delta(static_cast<int>(open64)))),
+        v_ext(VI::splat(VI::encode_delta(static_cast<int>(ext64)))) {
+    const std::int64_t ext_lane = ext64 * static_cast<std::int64_t>(t);
+    const int range = ceil_l - floor_l;
     std::size_t s = 0;
     for (std::size_t step = 1; step < kW; step *= 2, ++s) {
       const int d = static_cast<int>(std::min<std::int64_t>(
@@ -271,28 +307,37 @@ bool striped_score(const StripedProfile<VI>& profile,
       g_guard[s] = VI::splat(VI::encode(floor_l + d));
       g_fill[s] = low_lanes<VI>(floor_enc, step);
     }
+    const int d_last = static_cast<int>(std::min<std::int64_t>(
+        ext64 * static_cast<std::int64_t>(t - 1), range));
+    v_last_decay = VI::splat(VI::encode_delta(d_last));
+    v_last_guard = VI::splat(VI::encode(floor_l + d_last));
   }
 
-  // The carry of a column is applied lazily while the NEXT column reads it
-  // (and by one final sweep after the last column): v_g holds the pending
-  // per-lane carries, v_last the carry-corrected last stripe vector of the
-  // previous column (the diagonal feed). Column 0 is exact by construction,
-  // so it starts with no pending carry.
-  VI v_g = v_floor;
-  VI v_last = VI::load(h_cur + (t - 1) * kW);
-  // Decay of a carry across t-1 rows, for correcting the last stripe right
-  // after its column's scan (same guarded-subtract scheme as the scan).
-  const int d_last = static_cast<int>(std::min<std::int64_t>(
-      ext64 * static_cast<std::int64_t>(t - 1), range));
-  const VI v_last_decay = VI::splat(VI::encode_delta(d_last));
-  const VI v_last_guard = VI::splat(VI::encode(floor_l + d_last));
+  /// Column-0 boundary state, identical to striped_score's init.
+  void init_column0(Elem* h, Elem* e) const {
+    const auto floor64 = static_cast<std::int64_t>(floor_l);
+    for (std::size_t l = 0; l < kW; ++l) {
+      for (std::size_t k = 0; k < t; ++k) {
+        const auto i = static_cast<std::int64_t>(l * t + k) + 1;
+        const std::int64_t hv =
+            std::max(-(open64 + ext64 * (i - 1)), floor64 + 1);
+        h[k * kW + l] = VI::encode(static_cast<int>(hv));
+        e[k * kW + l] =
+            VI::encode(static_cast<int>(std::max(hv - open64, floor64)));
+      }
+    }
+  }
 
-  for (std::size_t j = 1; j <= n; ++j) {
+  /// One column of the kernel: identical operations to striped_score's
+  /// inner loop + carry scan + last-stripe correction, with `sink.cell()`
+  /// observing the final E and the pre-carry F of each stripe.
+  template <typename Sink>
+  void run_column(std::size_t j, Elem* h_cur, const Elem* h_prev, Elem* e,
+                  VI& v_g, VI& v_last, VI& v_sat_max, VI& v_sat_min,
+                  Sink&& sink) const {
+    const auto floor64 = static_cast<std::int64_t>(floor_l);
     const Elem* prof = profile.row(other[j - 1]);
-    std::swap(h_cur, h_prev);
 
-    // Diagonal feed: previous column's (corrected) H shifted down one query
-    // row, with the row-0 boundary H(0, j-1) entering lane 0.
     VI v_h = shift_up<1>(
         v_last,
         low_lanes<VI>(VI::encode(static_cast<int>(boundary_h0(
@@ -301,14 +346,12 @@ bool striped_score(const StripedProfile<VI>& profile,
     VI v_f = v_floor;
 
     for (std::size_t k = 0; k < t; ++k) {
-      // Apply the previous column's pending carry to the stripe being read
-      // (this is the deferred correction sweep, fused into the reload), fix
-      // the E row it feeds, and rail-check the now-final value.
       const VI v_hp = VI::max(VI::load(h_prev + k * kW), v_g);
       v_g = VI::max(v_g - v_ext, v_floor);
       v_sat_max = VI::max(v_sat_max, v_hp);
       v_sat_min = VI::min(v_sat_min, v_hp);
       const VI v_e = VI::max(VI::load(e + k * kW), v_hp - v_open);
+      sink.cell(k, v_e, v_f);
       v_h = v_h + VI::load(prof + k * kW);
       v_h = VI::max(v_h, v_e);
       v_h = VI::max(v_h, v_f);
@@ -323,8 +366,6 @@ bool striped_score(const StripedProfile<VI>& profile,
       v_h = v_hp;
     }
 
-    // Cross-lane carry scan (see file comment): seed with H(0,j) - open,
-    // then log-step weighted prefix max over the lanes.
     v_g = shift_up<1>(
         v_f, low_lanes<VI>(
                  VI::encode(static_cast<int>(std::max(
@@ -354,36 +395,283 @@ bool striped_score(const StripedProfile<VI>& profile,
                     VI::max(shift_up<16>(v_g, g_fill[4]), g_guard[4]) -
                         g_decay[4]);
 
-    // v_g is now the pending carry of column j, applied while column j+1
-    // reads the stripes back. Only the next diagonal feed needs a corrected
-    // value right away: the last stripe, with the carry decayed t-1 rows.
     v_last = VI::max(VI::load(h_cur + (t - 1) * kW),
                      VI::max(v_g, v_last_guard) - v_last_decay);
   }
 
+  /// Corrected copy: out_h[k] = max(h[k], carry decayed), the same deferred
+  /// sweep the next column's reads would apply. Leaves `h` and the live
+  /// carry untouched.
+  void corrected_h(const Elem* h, VI v_g, Elem* out_h) const {
+    for (std::size_t k = 0; k < t; ++k) {
+      const VI vh = VI::max(VI::load(h + k * kW), v_g);
+      vh.store(out_h + k * kW);
+      v_g = VI::max(v_g - v_ext, v_floor);
+    }
+  }
+};
+
+/// Values adapter of the shared integer traceback walker: analytic
+/// boundaries, block-stored interior, M derived from H and the profile's
+/// substitution deltas. ensure() recomputes the block whose stored columns
+/// [c0+1, top] (plus the seed column c0) cover j and j-1.
+template <typename VI>
+struct StripedTraceValues {
+  using Elem = typename VI::Elem;
+  static constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+
+  const AlignPass<VI>& ap;
+  StripedAlignWorkspace<VI>& ws;
+  std::size_t interval;
+  std::int64_t open, ext;
+  std::size_t c0 = 0, top = 0;
+  bool loaded = false;
+
+  StripedTraceValues(const AlignPass<VI>& pass, StripedAlignWorkspace<VI>& w,
+                     std::size_t k)
+      : ap(pass), ws(w), interval(k), open(pass.open64), ext(pass.ext64) {}
+
+  [[nodiscard]] std::size_t slot(std::size_t i) const {
+    return ((i - 1) % ap.t) * kW + (i - 1) / ap.t;
+  }
+  [[nodiscard]] std::int64_t stored(const std::vector<Elem>& cols,
+                                    std::size_t i, std::size_t j) const {
+    return VI::decode(cols[(j - c0 - 1) * ap.slots + slot(i)]);
+  }
+
+  [[nodiscard]] std::int64_t h(std::size_t i, std::size_t j) const {
+    if (i == 0) return boundary_h0(static_cast<std::int64_t>(j), open, ext);
+    if (j == 0) return -(open + ext * (static_cast<std::int64_t>(i) - 1));
+    if (j == c0) return VI::decode(ws.blk_h0[slot(i)]);
+    return stored(ws.blk_h, i, j);
+  }
+  [[nodiscard]] std::int64_t x(std::size_t i, std::size_t j) const {
+    if (i == 0)
+      return j == 0 ? kNegI
+                    : -(open + ext * (static_cast<std::int64_t>(j) - 1));
+    if (j == 0) return kNegI;
+    return stored(ws.blk_e, i, j);
+  }
+  [[nodiscard]] std::int64_t y(std::size_t i, std::size_t j) const {
+    if (i == 0) return kNegI;
+    if (j == 0) return -(open + ext * (static_cast<std::int64_t>(i) - 1));
+    return stored(ws.blk_f, i, j);
+  }
+  [[nodiscard]] std::int64_t m(std::size_t i, std::size_t j) const {
+    if (i == 0) return j == 0 ? 0 : kNegI;
+    if (j == 0) return kNegI;
+    const int sub =
+        VI::decode_delta(ap.profile.row(ap.other[j - 1])[slot(i)]);
+    return h(i - 1, j - 1) + sub;
+  }
+
+  /// came_from(i, j) reads columns j and j-1; stored X/Y need j-1 >= c0+1
+  /// (or the analytic column 0), so a block answers j in [c0+2, top] —
+  /// plus all j >= 1 when c0 == 0.
+  [[nodiscard]] bool ensure(std::size_t j) {
+    if (loaded && j <= top && (c0 == 0 || j >= c0 + 2)) return true;
+    return load_block(j);
+  }
+
+  [[nodiscard]] bool load_block(std::size_t j) {
+    c0 = j >= interval + 2 ? (j - 2) / interval * interval : 0;
+    top = j;
+    const std::size_t span_cols = top - c0;
+    ws.blk_h.resize(span_cols * ap.slots);
+    ws.blk_e.resize(span_cols * ap.slots);
+    ws.blk_f.resize(span_cols * ap.slots);
+
+    Elem* h_cur = ws.cols.h_a.data();
+    Elem* h_prev = ws.cols.h_b.data();
+    Elem* e = ws.cols.e.data();
+    if (c0 == 0) {
+      ap.init_column0(h_cur, e);
+    } else {
+      const std::size_t at = (c0 / interval - 1) * ap.slots;
+      std::copy_n(ws.ckpt_h.data() + at, ap.slots, h_cur);
+      std::copy_n(ws.ckpt_e.data() + at, ap.slots, e);
+    }
+    ws.blk_h0.assign(h_cur, h_cur + ap.slots);
+
+    // The seed column is final: no pending carry, diagonal feed straight
+    // from its last stripe — exactly the forward pass's column-0 state.
+    VI v_g = ap.v_floor;
+    VI v_last = VI::load(h_cur + (ap.t - 1) * kW);
+    VI v_sat_max = ap.v_floor;
+    VI v_sat_min = ap.v_ceil;
+    VI e_track = ap.v_ceil;
+    VI f_track = ap.v_ceil;
+    const Elem* guard = ws.pad_guard.data();
+
+    for (std::size_t jj = c0 + 1; jj <= top; ++jj) {
+      std::swap(h_cur, h_prev);
+      const std::size_t col = (jj - c0 - 1) * ap.slots;
+      StoreCells<VI> sink{ws.blk_e.data() + col, ws.blk_f.data() + col,
+                          guard, &e_track};
+      ap.run_column(jj, h_cur, h_prev, e, v_g, v_last, v_sat_max, v_sat_min,
+                    sink);
+      // Fused post-scan sweep: final H into the block, the same carry
+      // re-maxed into the captured pre-carry F (identical decay schedule).
+      VI g2 = v_g;
+      Elem* bh = ws.blk_h.data() + col;
+      Elem* bf = ws.blk_f.data() + col;
+      for (std::size_t k = 0; k < ap.t; ++k) {
+        const VI vh = VI::max(VI::load(h_cur + k * kW), g2);
+        vh.store(bh + k * kW);
+        const VI vf = VI::max(VI::load(bf + k * kW), g2);
+        vf.store(bf + k * kW);
+        f_track =
+            VI::min(f_track, VI::max(vf, VI::load(guard + k * kW)));
+        g2 = VI::max(g2 - ap.v_ext, ap.v_floor);
+      }
+    }
+
+    // Alignment-tier rail check: a floor-seated E or F in a real lane means
+    // the stored value may be a clamp, not the exact cell — promote.
+    Elem seen = ap.ceil_enc;
+    for (int l = 0; l < VI::kLanes; ++l) {
+      seen = std::min(seen, e_track.lane(l));
+      seen = std::min(seen, f_track.lane(l));
+    }
+    if (seen <= ap.floor_enc) return false;
+    loaded = true;
+    return true;
+  }
+};
+
+}  // namespace
+
+template <typename VI>
+bool striped_score(const StripedProfile<VI>& profile,
+                   std::span<const std::uint8_t> other,
+                   StripedWorkspace<VI>& ws, float* score) {
+  using Elem = typename VI::Elem;
+  constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+  const AlignPass<VI> ap(profile, other);
+
+  ws.ensure(ap.slots);
+  Elem* h_cur = ws.h_a.data();
+  Elem* h_prev = ws.h_b.data();
+  Elem* e = ws.e.data();
+  ap.init_column0(h_cur, e);
+
+  // Column 0 is exact by construction, so the pass starts with no pending
+  // carry and the diagonal feed comes straight from the last stripe.
+  VI v_g = ap.v_floor;
+  VI v_last = VI::load(h_cur + (ap.t - 1) * kW);
+  VI v_sat_max = ap.v_floor;
+  VI v_sat_min = ap.v_ceil;
+
+  for (std::size_t j = 1; j <= ap.n; ++j) {
+    std::swap(h_cur, h_prev);
+    ap.run_column(j, h_cur, h_prev, e, v_g, v_last, v_sat_max, v_sat_min,
+                  NoCells{});
+  }
+
   // Final sweep: the last column still has its carry pending; apply it so
   // the corner is final and its values are rail-checked.
-  for (std::size_t k = 0; k < t; ++k) {
+  for (std::size_t k = 0; k < ap.t; ++k) {
     VI v_h2 = VI::max(VI::load(h_cur + k * kW), v_g);
     v_h2.store(h_cur + k * kW);
     v_sat_max = VI::max(v_sat_max, v_h2);
     v_sat_min = VI::min(v_sat_min, v_h2);
-    v_g = VI::max(v_g - v_ext, v_floor);
+    v_g = VI::max(v_g - ap.v_ext, ap.v_floor);
   }
 
   // Saturation: any stored H on a rail invalidates the run (legitimate
   // rail-valued cells promote too — conservative, never wrong).
-  Elem seen_max = floor_enc;
-  Elem seen_min = ceil_enc;
+  Elem seen_max = ap.floor_enc;
+  Elem seen_min = ap.ceil_enc;
   for (int l = 0; l < VI::kLanes; ++l) {
     seen_max = std::max(seen_max, v_sat_max.lane(l));
     seen_min = std::min(seen_min, v_sat_min.lane(l));
   }
-  if (seen_max >= ceil_enc || seen_min <= floor_enc) return false;
+  if (seen_max >= ap.ceil_enc || seen_min <= ap.floor_enc) return false;
 
-  const std::size_t corner = m - 1;
+  const std::size_t corner = ap.m - 1;
   *score = static_cast<float>(
-      VI::decode(h_cur[(corner % t) * kW + corner / t]));
+      VI::decode(h_cur[(corner % ap.t) * kW + corner / ap.t]));
+  return true;
+}
+
+template <typename VI>
+bool striped_align(const StripedProfile<VI>& profile,
+                   std::span<const std::uint8_t> other,
+                   StripedAlignWorkspace<VI>& ws, PairwiseAlignment* out,
+                   bool* trace_promoted) {
+  using Elem = typename VI::Elem;
+  if (trace_promoted != nullptr) *trace_promoted = false;
+  constexpr auto kW = static_cast<std::size_t>(VI::kLanes);
+  const AlignPass<VI> ap(profile, other);
+  const std::size_t n = ap.n;
+  const std::size_t interval = column_interval(n);
+
+  ws.cols.ensure(ap.slots);
+  if (ws.guard_m != ap.m || ws.guard_t != ap.t) {
+    ws.pad_guard.assign(ap.slots, static_cast<Elem>(ap.floor_enc + 1));
+    for (std::size_t l = 0; l < kW; ++l)
+      for (std::size_t k = 0; k < ap.t; ++k)
+        if (l * ap.t + k < ap.m) ws.pad_guard[k * kW + l] = ap.floor_enc;
+    ws.guard_m = ap.m;
+    ws.guard_t = ap.t;
+  }
+  const std::size_t num_ckpt = n >= interval + 2 ? (n - 2) / interval : 0;
+  ws.ckpt_h.resize(num_ckpt * ap.slots);
+  ws.ckpt_e.resize(num_ckpt * ap.slots);
+
+  Elem* h_cur = ws.cols.h_a.data();
+  Elem* h_prev = ws.cols.h_b.data();
+  Elem* e = ws.cols.e.data();
+  ap.init_column0(h_cur, e);
+
+  VI v_g = ap.v_floor;
+  VI v_last = VI::load(h_cur + (ap.t - 1) * kW);
+  VI v_sat_max = ap.v_floor;
+  VI v_sat_min = ap.v_ceil;
+
+  const auto rails_hit = [&](VI sat_max, VI sat_min) {
+    Elem seen_max = ap.floor_enc;
+    Elem seen_min = ap.ceil_enc;
+    for (int l = 0; l < VI::kLanes; ++l) {
+      seen_max = std::max(seen_max, sat_max.lane(l));
+      seen_min = std::min(seen_min, sat_min.lane(l));
+    }
+    return seen_max >= ap.ceil_enc || seen_min <= ap.floor_enc;
+  };
+
+  for (std::size_t j = 1; j <= n; ++j) {
+    std::swap(h_cur, h_prev);
+    ap.run_column(j, h_cur, h_prev, e, v_g, v_last, v_sat_max, v_sat_min,
+                  NoCells{});
+    // Saturation is sticky, so bail as soon as a rail is touched instead of
+    // finishing a doomed pass — high-identity pairs hit the int8 ceiling
+    // within a few dozen columns and would otherwise pay the full matrix
+    // before promoting.
+    if ((j & 15U) == 0 && rails_hit(v_sat_max, v_sat_min)) return false;
+    if (j % interval == 0 && j / interval <= num_ckpt) {
+      const std::size_t at = (j / interval - 1) * ap.slots;
+      ap.corrected_h(h_cur, v_g, ws.ckpt_h.data() + at);
+      std::copy_n(e, ap.slots, ws.ckpt_e.data() + at);
+    }
+  }
+
+  // Final sweep (rail-checks the last column; the traceback recomputes its
+  // values from the nearest checkpoint, so h_cur itself is not kept).
+  for (std::size_t k = 0; k < ap.t; ++k) {
+    const VI v_h2 = VI::max(VI::load(h_cur + k * kW), v_g);
+    v_sat_max = VI::max(v_sat_max, v_h2);
+    v_sat_min = VI::min(v_sat_min, v_h2);
+    v_g = VI::max(v_g - ap.v_ext, ap.v_floor);
+  }
+  if (rails_hit(v_sat_max, v_sat_min)) return false;
+
+  StripedTraceValues<VI> vals(ap, ws, interval);
+  PairwiseAlignment result;
+  if (!integer_global_traceback(ap.m, n, vals, &result)) {
+    if (trace_promoted != nullptr) *trace_promoted = true;
+    return false;
+  }
+  *out = std::move(result);
   return true;
 }
 
@@ -395,6 +683,14 @@ template bool striped_score<ScalarI8>(const StripedProfile<ScalarI8>&,
 template bool striped_score<ScalarI16>(const StripedProfile<ScalarI16>&,
                                        std::span<const std::uint8_t>,
                                        StripedWorkspace<ScalarI16>&, float*);
+template bool striped_align<ScalarI8>(const StripedProfile<ScalarI8>&,
+                                      std::span<const std::uint8_t>,
+                                      StripedAlignWorkspace<ScalarI8>&,
+                                      PairwiseAlignment*, bool*);
+template bool striped_align<ScalarI16>(const StripedProfile<ScalarI16>&,
+                                       std::span<const std::uint8_t>,
+                                       StripedAlignWorkspace<ScalarI16>&,
+                                       PairwiseAlignment*, bool*);
 
 #ifdef SALIGN_HAVE_VECTOR_EXT
 template class StripedProfile<VecI8>;
@@ -405,6 +701,14 @@ template bool striped_score<VecI8>(const StripedProfile<VecI8>&,
 template bool striped_score<VecI16>(const StripedProfile<VecI16>&,
                                     std::span<const std::uint8_t>,
                                     StripedWorkspace<VecI16>&, float*);
+template bool striped_align<VecI8>(const StripedProfile<VecI8>&,
+                                   std::span<const std::uint8_t>,
+                                   StripedAlignWorkspace<VecI8>&,
+                                   PairwiseAlignment*, bool*);
+template bool striped_align<VecI16>(const StripedProfile<VecI16>&,
+                                    std::span<const std::uint8_t>,
+                                    StripedAlignWorkspace<VecI16>&,
+                                    PairwiseAlignment*, bool*);
 #endif
 
 }  // namespace salign::align::engine::detail

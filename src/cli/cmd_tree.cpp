@@ -11,6 +11,7 @@
 #include "kmer/kmer_rank.hpp"
 #include "msa/guide_tree.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace salign::cli {
 
@@ -35,9 +36,14 @@ ArgParser make_parser() {
   p.option("k", "len", "0",
            "k-mer length for --dist kmer (0 = library default)");
   p.option("threads", "n", "1",
-           "worker threads of the kimura/score distance pass");
+           "worker threads of the kimura/score distance pass "
+           "(0 = auto: hardware concurrency, capped)");
   p.option("out", "file", "", "write the Newick string here instead of stdout");
   p.flag("weights", "also print CLUSTALW-style leaf weights");
+  p.flag("stats",
+         "print the distance pass's alignment-kernel tier breakdown "
+         "(batched int8 lanes / striped int8 / int16 / float); only "
+         "--dist kimura runs full alignments, so only it has one");
   return p;
 }
 
@@ -59,8 +65,10 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
     const std::string dist = p.get("dist");
     if (dist != "kmer" && dist != "kimura" && dist != "score")
       throw UsageError("--dist must be kmer, kimura or score");
-    const auto threads =
-        static_cast<unsigned>(p.get_int("threads", 1, 1024));
+    const auto threads_arg =
+        static_cast<unsigned>(p.get_int("threads", 0, 1024));
+    const unsigned threads =
+        threads_arg == 0 ? util::default_threads() : threads_arg;
 
     const std::vector<bio::Sequence> seqs = bio::read_fasta_file(p.get("in"));
     if (seqs.size() < 2)
@@ -82,7 +90,22 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
       } else {
         align::PairDistanceOptions pdo;
         pdo.threads = threads;
+        align::PairDistanceStats stats;
+        pdo.stats = &stats;
         d = align::alignment_distance_matrix(seqs, m, gaps, pdo);
+        if (p.get_flag("stats")) {
+          util::Table t({"pairs", "batched int8", "batch retries",
+                         "striped int8", "striped int16", "float",
+                         "promotions"});
+          t.add_row({std::to_string(stats.pairs),
+                     std::to_string(stats.batched_int8),
+                     std::to_string(stats.batch_retries),
+                     std::to_string(stats.ladder.int8_runs),
+                     std::to_string(stats.ladder.int16_runs),
+                     std::to_string(stats.ladder.float_runs),
+                     std::to_string(stats.ladder.promotions)});
+          out << t.to_string();
+        }
       }
     }
 

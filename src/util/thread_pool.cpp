@@ -133,8 +133,7 @@ void ThreadPool::run(unsigned extra_workers,
 }
 
 unsigned default_threads() {
-  return std::clamp(std::thread::hardware_concurrency(), 1U,
-                    kDefaultThreadCap);
+  return default_threads_for(std::thread::hardware_concurrency());
 }
 
 }  // namespace salign::util

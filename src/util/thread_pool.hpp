@@ -56,8 +56,20 @@ class ThreadPool {
 /// Default worker count for "auto" thread knobs: the host's hardware
 /// concurrency, capped at kDefaultThreadCap (beyond the cap the in-process
 /// cluster ranks multiply against per-rank threads and memory-bandwidth-
-/// bound DP passes stop scaling), and at least 1.
+/// bound DP passes stop scaling), and at least 1 — including when
+/// hardware_concurrency() reports 0, which the standard permits and some
+/// containers/cgroup setups actually do. A 0 here would flow into thread
+/// knobs as "no workers" and silently serialize (or worse, size a pool at
+/// zero), so the floor is load-bearing, not cosmetic.
 inline constexpr unsigned kDefaultThreadCap = 16;
 [[nodiscard]] unsigned default_threads();
+
+/// The pure mapping behind default_threads(), taking the reported hardware
+/// concurrency as an argument so the hardware_concurrency() == 0 contract
+/// is unit-testable (tests/util_test.cpp pins it).
+[[nodiscard]] constexpr unsigned default_threads_for(unsigned hardware) {
+  if (hardware == 0) return 1;  // unknown concurrency: never degenerate to 0
+  return hardware < kDefaultThreadCap ? hardware : kDefaultThreadCap;
+}
 
 }  // namespace salign::util

@@ -510,6 +510,19 @@ TEST_F(CliTest, TreeRejectsBadMethodAndDistance) {
   EXPECT_EQ(run(argv({"tree"})).status, 2);  // missing --in
 }
 
+TEST_F(CliTest, TreeKimuraStatsAndAutoThreads) {
+  // --threads 0 means "auto" (never a zero-thread pool) and --stats prints
+  // the distance pass's alignment-kernel tier breakdown.
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 6);
+  const Result r = run(argv({"tree", "--in", in, "--dist", "kimura",
+                             "--threads", "0", "--stats"}));
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find(';'), std::string::npos);
+  EXPECT_NE(r.out.find("batched int8"), std::string::npos);
+  EXPECT_NE(r.out.find("pairs"), std::string::npos);
+}
+
 TEST_F(CliTest, TreeNeedsAtLeastTwoSequences) {
   const std::string in = path("one.fasta");
   std::ofstream f(in);

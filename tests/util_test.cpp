@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <thread>
 #include <vector>
 
 #include "util/fft.hpp"
@@ -11,6 +12,7 @@
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace salign::util {
@@ -440,6 +442,23 @@ TEST(Timers, ScopedTimerAccumulates) {
     for (int i = 0; i < 100000; ++i) x = x + i;
   }
   EXPECT_GE(acc, 0.0);
+}
+
+TEST(DefaultThreads, NeverReturnsZero) {
+  // std::thread::hardware_concurrency() may legally report 0 (and does on
+  // some containers); the "auto" thread knobs must still mean one worker,
+  // never a zero-thread pool. Pinned via the pure mapping so the 0 case is
+  // reachable regardless of the host.
+  static_assert(default_threads_for(0) == 1);
+  static_assert(default_threads_for(1) == 1);
+  static_assert(default_threads_for(kDefaultThreadCap - 1) ==
+                kDefaultThreadCap - 1);
+  static_assert(default_threads_for(kDefaultThreadCap + 8) ==
+                kDefaultThreadCap);
+  EXPECT_GE(default_threads(), 1U);
+  EXPECT_LE(default_threads(), kDefaultThreadCap);
+  EXPECT_EQ(default_threads(),
+            default_threads_for(std::thread::hardware_concurrency()));
 }
 
 }  // namespace
