@@ -2,7 +2,12 @@
 # machine-readable BENCH_baseline.json for later performance PRs to diff
 # against. Invoked by the `bench_baseline` custom target as:
 #   cmake -DMICRO_KERNELS=<path> -DFIG5_SPEEDUP=<path> -DOUT_JSON=<path>
-#         -P bench_baseline.cmake
+#         [-DPRESET_NAME=<name>] -P bench_baseline.cmake
+#
+# Schema 3 adds a "context" block (logical core count of the machine that
+# produced the numbers + configure-preset name) so cross-machine comparisons
+# are at least flagged: bench_compare prints both contexts next to any
+# regression warning.
 
 if(NOT MICRO_KERNELS OR NOT FIG5_SPEEDUP OR NOT OUT_JSON)
   message(FATAL_ERROR
@@ -58,6 +63,11 @@ list(JOIN fig5_entries ",\n      " fig5_array)
 file(READ "${micro_json}" micro_content)
 string(TIMESTAMP now UTC)
 
+cmake_host_system_information(RESULT host_cores QUERY NUMBER_OF_LOGICAL_CORES)
+if(NOT PRESET_NAME)
+  set(PRESET_NAME "none")
+endif()
+
 # Pull every benchmark's cells_per_second counter (added by the alignment
 # engine benches) into a flat summary so perf PRs can diff kernel throughput
 # without walking the full google-benchmark JSON.
@@ -77,8 +87,12 @@ endforeach()
 list(JOIN kernel_entries ",\n      " kernel_array)
 
 file(WRITE "${OUT_JSON}" "{
-  \"schema\": 2,
+  \"schema\": 3,
   \"generated_utc\": \"${now}\",
+  \"context\": {
+    \"hardware_concurrency\": ${host_cores},
+    \"preset\": \"${PRESET_NAME}\"
+  },
   \"description\": \"Baseline perf numbers: google-benchmark micro kernels + Fig.5 modeled speedup sweep. Regenerate with the bench_baseline target.\",
   \"kernel_cells_per_second\": {
     \"entries\": [

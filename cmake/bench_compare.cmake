@@ -59,6 +59,24 @@ endfunction()
 file(READ "${BASELINE}" baseline_json)
 file(READ "${CURRENT}" current_json)
 
+# Schema 3 context block (hardware_concurrency + preset). Schema 2
+# baselines predate it; report "unknown" rather than failing so old
+# committed baselines keep comparing.
+function(describe_context json out_var)
+  string(JSON ctx ERROR_VARIABLE ctx_err GET "${json}" context)
+  if(ctx_err)
+    set(${out_var} "unknown (schema 2)" PARENT_SCOPE)
+    return()
+  endif()
+  string(JSON cores ERROR_VARIABLE e1 GET "${ctx}" hardware_concurrency)
+  string(JSON preset ERROR_VARIABLE e2 GET "${ctx}" preset)
+  set(${out_var} "${cores} cores, preset '${preset}'" PARENT_SCOPE)
+endfunction()
+describe_context("${baseline_json}" baseline_ctx)
+describe_context("${current_json}" current_ctx)
+set(context_note
+    " [baseline: ${baseline_ctx}; current: ${current_ctx}]")
+
 # name -> cells_per_second of the committed baseline.
 string(JSON base_entries GET "${baseline_json}" kernel_cells_per_second entries)
 string(JSON base_len LENGTH "${base_entries}")
@@ -97,15 +115,18 @@ foreach(i RANGE 0 ${cur_last})
   if(lhs LESS rhs)
     math(EXPR regressed "${regressed} + 1")
     message(WARNING "bench_compare: ${name} regressed: ${cps} cells/s vs "
-                    "baseline ${base_${key}} (below ${THRESHOLD_PERCENT}%)")
+                    "baseline ${base_${key}} (below ${THRESHOLD_PERCENT}%)"
+                    "${context_note}")
   endif()
 endforeach()
 
 # Baseline kernels the current run did not report at all.
 foreach(name IN LISTS base_names)
   message(WARNING "bench_compare: ${name} is in ${BASELINE} but missing "
-                  "from the current run (bench dropped or renamed?)")
+                  "from the current run (bench dropped or renamed?)"
+                  "${context_note}")
 endforeach()
 
 message(STATUS "bench_compare: ${compared} kernels compared against "
-               "${BASELINE}; ${regressed} below ${THRESHOLD_PERCENT}%")
+               "${BASELINE}; ${regressed} below ${THRESHOLD_PERCENT}%"
+               "${context_note}")

@@ -1,0 +1,41 @@
+#include "bio/content_hash.hpp"
+
+#include "bio/alphabet.hpp"
+
+namespace salign::bio {
+
+void hash_sequence(util::StableHash& h, const Sequence& s) {
+  h.u8(static_cast<std::uint8_t>(s.alphabet_kind()));
+  h.str(s.id());
+  h.u32(static_cast<std::uint32_t>(s.codes().size()));
+  h.update(s.codes());
+}
+
+util::Digest128 sequence_set_hash(std::span<const Sequence> seqs) {
+  util::StableHash h;
+  h.str("salign.sequence_set.v1");
+  h.u64(seqs.size());
+  for (const Sequence& s : seqs) hash_sequence(h, s);
+  return h.digest128();
+}
+
+void hash_matrix(util::StableHash& h, const SubstitutionMatrix& m) {
+  h.str("salign.matrix.v1");
+  h.str(m.name());
+  h.u8(static_cast<std::uint8_t>(m.alphabet_kind()));
+  const int n = Alphabet::get(m.alphabet_kind()).size();
+  h.u32(static_cast<std::uint32_t>(n));
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b)
+      h.f64(static_cast<double>(m.score(static_cast<std::uint8_t>(a),
+                                        static_cast<std::uint8_t>(b))));
+  hash_gaps(h, m.default_gaps());
+  h.f64(static_cast<double>(m.expected_score()));
+}
+
+void hash_gaps(util::StableHash& h, const GapPenalties& g) {
+  h.f64(static_cast<double>(g.open));
+  h.f64(static_cast<double>(g.extend));
+}
+
+}  // namespace salign::bio

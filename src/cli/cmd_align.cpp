@@ -39,6 +39,16 @@ ArgParser make_parser() {
   p.flag("polish", "re-align the most divergent rows after the glue (§5)");
   p.flag("no-ancestor",
          "skip the global-ancestor tweak (ablation; block-diagonal glue)");
+  p.option("checkpoint-dir", "dir", "",
+           "persist every completed pipeline stage to this directory\n"
+           "(artifact files + manifest.tsv); inspect with 'salign stages'");
+  p.flag("resume",
+         "with --checkpoint-dir: load completed stages back instead of\n"
+         "recomputing them. Bit-identical to a fresh run for any --threads");
+  p.flag("cache",
+         "serve repeated per-bucket aligner work (distance matrices,\n"
+         "guide trees) from the process-wide artifact cache (muscle only;\n"
+         "never changes output)");
   p.flag("stats", "print the per-stage pipeline report to stderr");
   p.flag("sp", "print the alignment's SP score to stderr");
   return p;
@@ -63,7 +73,18 @@ int run_align(std::span<const std::string> args, std::ostream& out,
         static_cast<unsigned>(p.get_int("threads", 0, 1024));
     cfg.threads = threads == 0 ? util::default_threads() : threads;
     cfg.samples_per_proc = static_cast<int>(p.get_int("samples", 0, 1 << 20));
-    cfg.local_aligner = make_aligner(p.get("aligner"), cfg.threads);
+    // "muscle" (the default) is left null so the pipeline constructs it,
+    // which routes phase stats and the artifact cache through it; the
+    // options are identical to make_aligner("muscle", threads).
+    if (p.get("aligner") != "muscle")
+      cfg.local_aligner = make_aligner(p.get("aligner"), cfg.threads);
+    cfg.checkpoint.dir = p.get("checkpoint-dir");
+    cfg.checkpoint.resume = p.get_flag("resume");
+    if (cfg.checkpoint.resume && cfg.checkpoint.dir.empty())
+      throw UsageError("--resume requires --checkpoint-dir");
+    cfg.use_artifact_cache = p.get_flag("cache");
+    if (cfg.use_artifact_cache && p.get("aligner") != "muscle")
+      throw UsageError("--cache applies to the default muscle aligner only");
     cfg.ancestor_refinement = !p.get_flag("no-ancestor");
     cfg.polish_divergent = p.get_flag("polish");
     const std::string& mode = p.get("rank-mode");

@@ -1,0 +1,87 @@
+#include <ostream>
+
+#include "cli/arg_parser.hpp"
+#include "cli/commands.hpp"
+#include "core/stage/stage.hpp"
+#include "util/table.hpp"
+
+namespace salign::cli {
+
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("stages",
+              "Inspects a Sample-Align-D checkpoint directory written by\n"
+              "'salign align --checkpoint-dir': prints the stage manifest\n"
+              "(one row per completed pipeline stage, in execution order)\n"
+              "and optionally re-reads every artifact to verify its content\n"
+              "digest.");
+  p.option("dir", "dir", "", "checkpoint directory (required)");
+  p.flag("verify",
+         "re-read every artifact file and check it against the manifest\n"
+         "digest; exit 1 if any is missing or corrupt");
+  return p;
+}
+
+}  // namespace
+
+int run_stages(std::span<const std::string> args, std::ostream& out,
+               std::ostream& err) {
+  ArgParser p = make_parser();
+  try {
+    p.parse(args);
+    if (p.help_requested()) {
+      out << p.usage();
+      return 0;
+    }
+    if (p.get("dir").empty()) throw UsageError("--dir is required");
+
+    const core::stage::Manifest m = core::stage::read_manifest(p.get("dir"));
+    out << "checkpoint: format v" << m.format_version << ", pipeline "
+        << m.pipeline_hash.hex() << ", " << m.records.size() << " stage"
+        << (m.records.size() == 1 ? "" : "s") << "\n";
+
+    const bool verify = p.get_flag("verify");
+    bool all_ok = true;
+    util::Table table(verify ? std::vector<std::string>{"#", "stage", "step",
+                                                        "bytes", "file",
+                                                        "artifact"}
+                             : std::vector<std::string>{"#", "stage", "step",
+                                                        "bytes", "file"});
+    for (const auto& rec : m.records) {
+      std::vector<std::string> row{
+          std::to_string(rec.index), rec.name,
+          rec.paper_step > 0 ? std::to_string(rec.paper_step) : "-",
+          std::to_string(rec.bytes), rec.file};
+      if (verify) {
+        std::string status;
+        try {
+          par::Bytes payload;
+          status = core::stage::read_artifact(p.get("dir"), rec, payload)
+                       ? "ok"
+                       : "CORRUPT";
+        } catch (const std::exception&) {
+          status = "MISSING";
+        }
+        if (status != "ok") all_ok = false;
+        row.push_back(status);
+      }
+      table.add_row(std::move(row));
+    }
+    out << table.to_string();
+    if (verify) {
+      out << (all_ok ? "all artifacts verified\n"
+                     : "verification FAILED\n");
+      return all_ok ? 0 : 1;
+    }
+    return 0;
+  } catch (const UsageError& e) {
+    err << "salign stages: " << e.what() << "\n\n" << p.usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "salign stages: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace salign::cli

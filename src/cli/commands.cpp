@@ -64,6 +64,7 @@ int dispatch(std::span<const std::string> args, std::ostream& out,
           "  rank      print k-mer ranks of sequences\n"
           "  tree      build a guide/phylogenetic tree (Newick)\n"
           "  generate  emit synthetic benchmark workloads\n"
+          "  stages    inspect an 'align --checkpoint-dir' directory\n"
           "  help      show this message\n\n"
           "run 'salign <command> --help' for per-command options.\n";
   };
@@ -79,6 +80,7 @@ int dispatch(std::span<const std::string> args, std::ostream& out,
   if (cmd == "rank") return run_rank(rest, out, err);
   if (cmd == "tree") return run_tree(rest, out, err);
   if (cmd == "generate") return run_generate(rest, out, err);
+  if (cmd == "stages") return run_stages(rest, out, err);
   err << "salign: unknown command '" << cmd << "'\n\n";
   print_help(err);
   return 2;

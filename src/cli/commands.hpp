@@ -27,7 +27,10 @@ namespace salign::cli {
 ///             Kimura distances, emit Newick (the paper's §2 rapid
 ///             phylogeny construction);
 ///   generate  emit synthetic workloads (rose / genome / prefab /
-///             balibase / sabmark) as FASTA (+ reference alignments).
+///             balibase / sabmark) as FASTA (+ reference alignments);
+///   stages    inspect a checkpoint directory written by
+///             `align --checkpoint-dir` (manifest table, digest
+///             verification).
 int run_align(std::span<const std::string> args, std::ostream& out,
               std::ostream& err);
 int run_score(std::span<const std::string> args, std::ostream& out,
@@ -38,6 +41,8 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
              std::ostream& err);
 int run_generate(std::span<const std::string> args, std::ostream& out,
                  std::ostream& err);
+int run_stages(std::span<const std::string> args, std::ostream& out,
+               std::ostream& err);
 
 /// Top-level dispatch: args[0] is the command name. Prints the tool help
 /// on empty input, `help`, or an unknown command (the latter returns 2).

@@ -3,9 +3,11 @@
 #include <memory>
 
 #include "bio/substitution_matrix.hpp"
+#include "core/stage/stage.hpp"
 #include "kmer/kmer_profile.hpp"
 #include "msa/consensus.hpp"
 #include "msa/msa_algorithm.hpp"
+#include "msa/phase_stats.hpp"
 #include "msa/polish.hpp"
 
 namespace salign::core {
@@ -75,6 +77,23 @@ struct SampleAlignDConfig {
 
   /// Scoring matrix for profiles/consensus alignment.
   const bio::SubstitutionMatrix* matrix = &bio::SubstitutionMatrix::blosum62();
+
+  /// Externalized-state options: checkpoint.dir enables per-stage artifact
+  /// persistence, checkpoint.resume loads completed stages back. Resumed
+  /// runs are bit-identical to fresh ones for any thread count (stage
+  /// identity hashes cover everything output-relevant; threads are not).
+  stage::CheckpointOptions checkpoint{};
+
+  /// Serve repeated per-bucket aligner work (distance matrices, guide
+  /// trees) from the process-wide util::ArtifactCache. Opt-in; never
+  /// changes output. Only applies to the default aligner this config
+  /// constructs — a caller-provided local_aligner manages its own caching.
+  bool use_artifact_cache = false;
+
+  /// Per-phase recorder handed to the default local aligner (not owned;
+  /// must outlive the runs). Null = the pipeline allocates its own when it
+  /// builds the default aligner, and reports it through PipelineStats.
+  msa::AlignerPhaseStats* phase_stats = nullptr;
 };
 
 }  // namespace salign::core

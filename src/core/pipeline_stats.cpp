@@ -83,6 +83,25 @@ std::string PipelineStats::summary() const {
      << "wall " << util::fmt("%.3f", wall_seconds) << " s; modeled cluster "
      << util::fmt("%.3f", modeled_seconds(model)) << " s; total "
      << total_bytes() << " bytes on the wire\n";
+  if (!artifacts.empty()) {
+    util::Table art({"stage artifact", "step", "bytes", "source", "s"});
+    for (const auto& a : artifacts) {
+      art.add_row({a.name, a.paper_step > 0 ? std::to_string(a.paper_step) : "-",
+                   std::to_string(a.bytes), a.resumed ? "resumed" : "computed",
+                   util::fmt("%.4f", a.seconds)});
+    }
+    os << art.to_string() << resumed_stages << " of " << artifacts.size()
+       << " stages resumed from checkpoint\n";
+  }
+  if (!aligner_phases.empty()) {
+    util::Table ph({"aligner phase", "wall s", "runs", "cache hits"});
+    for (const auto& a : aligner_phases) {
+      ph.add_row({a.name, util::fmt("%.4f", a.wall_seconds),
+                  std::to_string(a.runs), std::to_string(a.cache_hits)});
+    }
+    os << ph.to_string();
+  }
+  if (!cache_note.empty()) os << cache_note << '\n';
   const align::engine::Backend backend = align::engine::default_backend();
   os << "alignment engine: " << align::engine::backend_name(backend) << " ("
      << align::engine::backend_lanes(backend) << " lanes)\n";

@@ -53,6 +53,24 @@ struct StageStats {
 ///  - modeled_seconds(): per-stage max rank CPU time + modeled wire time,
 ///    i.e. the makespan on a dedicated p-node cluster — the quantity the
 ///    paper's Figs. 4-6 plot.
+/// Checkpoint/cache provenance of one stage artifact (mirrors the
+/// stage::ArtifactRecord the run produced, without the digests).
+struct StageArtifactStats {
+  std::string name;
+  int paper_step = 0;
+  std::uint64_t bytes = 0;   ///< serialized artifact size
+  bool resumed = false;      ///< loaded from the checkpoint, not computed
+  double seconds = 0.0;      ///< wall time to compute (or load) it
+};
+
+/// One sequential-aligner phase aggregated across all buckets of the run.
+struct AlignerPhaseSummary {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::uint64_t runs = 0;
+  std::uint64_t cache_hits = 0;
+};
+
 struct PipelineStats {
   int num_procs = 0;
   /// Worker threads each rank's local work was allowed to use
@@ -67,6 +85,17 @@ struct PipelineStats {
   /// 2N/p regular-sampling bound).
   std::vector<std::size_t> bucket_sizes;
   double wall_seconds = 0.0;
+
+  /// Stage artifacts in execution order (filled when the run checkpointed
+  /// or resumed; empty otherwise).
+  std::vector<StageArtifactStats> artifacts;
+  /// Number of stages served from the checkpoint instead of recomputed.
+  std::uint64_t resumed_stages = 0;
+  /// Per-phase breakdown of the sequential aligner runs (default aligner
+  /// only; filled when the pipeline owns the phase recorder).
+  std::vector<AlignerPhaseSummary> aligner_phases;
+  /// One-line process-wide artifact-cache report ("" when caching is off).
+  std::string cache_note;
 
   [[nodiscard]] std::uint64_t total_bytes() const;
   [[nodiscard]] double total_compute_seconds() const;

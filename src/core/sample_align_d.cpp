@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "bio/content_hash.hpp"
 #include "core/partition.hpp"
+#include "core/stage/artifacts.hpp"
 #include "kmer/kmer_rank.hpp"
 #include "msa/consensus.hpp"
 #include "msa/muscle_like.hpp"
 #include "msa/profile.hpp"
 #include "msa/profile_align.hpp"
 #include "par/cluster.hpp"
+#include "util/artifact_cache.hpp"
 #include "util/timer.hpp"
 
 namespace salign::core {
@@ -24,7 +28,8 @@ using msa::Alignment;
 using par::ByteReader;
 using par::Bytes;
 using par::ByteWriter;
-using par::Communicator;
+using stage::RankedPartition;
+using stage::RankedRef;
 
 // ---- Stage catalogue ------------------------------------------------------
 
@@ -80,76 +85,83 @@ constexpr std::array<StageInfo, kNumStages> kStageInfo{{
     {"divergent polish (root)", CommPattern::None},
 }};
 
-/// Per-rank stage accounting: CPU seconds of the rank's own thread (immune
-/// to host oversubscription, but blind to shared-pool workers a threaded
-/// stage borrows), wall seconds (what per-rank threading shrinks), and
-/// bytes sent.
-class StageRecorder {
+/// Per-(stage, rank) accounting of the staged executor: CPU seconds of the
+/// worker that ran the rank's segment (immune to host oversubscription, but
+/// blind to shared-pool workers a threaded local aligner borrows), wall
+/// seconds, and bytes the rank would send on a real cluster. Resumed stages
+/// never execute their compute, so their slots stay zero — reflecting that
+/// no work was done.
+class RunStats {
  public:
-  void begin(int stage) {
-    flush();
-    current_ = stage;
-    timer_.restart();
-    wall_.restart();
-  }
-  void end() { flush(); }
-  void add_bytes(int stage, std::uint64_t bytes) {
-    bytes_[static_cast<std::size_t>(stage)] += bytes;
+  explicit RunStats(int p) {
+    for (auto& v : cpu_) v.assign(static_cast<std::size_t>(p), 0.0);
+    for (auto& v : wall_) v.assign(static_cast<std::size_t>(p), 0.0);
+    for (auto& v : bytes_) v.assign(static_cast<std::size_t>(p), 0);
   }
 
-  [[nodiscard]] Bytes serialize(std::size_t bucket_size) const {
-    ByteWriter w;
-    w.u64(bucket_size);
+  void add_time(int stage, int rank, double cpu, double wall) {
+    cpu_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(rank)] +=
+        cpu;
+    wall_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(rank)] +=
+        wall;
+  }
+  void add_bytes(int stage, int rank, std::uint64_t bytes) {
+    bytes_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(rank)] +=
+        bytes;
+  }
+
+  /// Root-only segment (pivot selection, global-ancestor alignment, glue,
+  /// polish) charged to rank 0.
+  template <typename Fn>
+  void timed_root(int stage, Fn&& fn) {
+    util::ThreadCpuTimer cpu;
+    util::Stopwatch watch;
+    fn();
+    add_time(stage, 0, cpu.seconds(), watch.seconds());
+  }
+
+  void export_to(PipelineStats& stats) const {
     for (int s = 0; s < kNumStages; ++s) {
-      w.f64(seconds_[static_cast<std::size_t>(s)]);
-      w.f64(wall_seconds_[static_cast<std::size_t>(s)]);
-      w.u64(bytes_[static_cast<std::size_t>(s)]);
+      auto& st = stats.stages[static_cast<std::size_t>(s)];
+      st.rank_seconds = cpu_[static_cast<std::size_t>(s)];
+      st.rank_wall_seconds = wall_[static_cast<std::size_t>(s)];
+      for (std::uint64_t b : bytes_[static_cast<std::size_t>(s)]) {
+        st.total_bytes += b;
+        st.max_bytes_per_rank = std::max(st.max_bytes_per_rank, b);
+      }
     }
-    return w.take();
   }
 
  private:
-  void flush() {
-    if (current_ >= 0) {
-      seconds_[static_cast<std::size_t>(current_)] += timer_.restart();
-      wall_seconds_[static_cast<std::size_t>(current_)] += wall_.restart();
-    }
-    current_ = -1;
-  }
-  std::array<double, kNumStages> seconds_{};
-  std::array<double, kNumStages> wall_seconds_{};
-  std::array<std::uint64_t, kNumStages> bytes_{};
-  int current_ = -1;
-  util::ThreadCpuTimer timer_;
-  util::Stopwatch wall_;
+  std::array<std::vector<double>, kNumStages> cpu_{};
+  std::array<std::vector<double>, kNumStages> wall_{};
+  std::array<std::vector<std::uint64_t>, kNumStages> bytes_{};
 };
 
-// ---- Pipeline payloads ----------------------------------------------------
-
-/// A sequence travelling through the pipeline with its original position
-/// (for deterministic ties and final row order) and current rank key.
-struct Item {
-  std::uint64_t index = 0;
-  double rank = 0.0;
-  Sequence seq;
-};
-
-void write_item(ByteWriter& w, const Item& it) {
-  w.u64(it.index);
-  w.f64(it.rank);
-  par::write_sequence(w, it.seq);
+/// Runs fn(rank) for every rank concurrently — one deterministic chunk per
+/// rank, the staged executor's stand-in for the former thread-per-rank
+/// cluster — charging each rank's CPU and wall time to `stage`. fn must
+/// write only to per-rank slots; chunk geometry never depends on
+/// scheduling, so neither do outputs.
+void for_each_rank(RunStats& rs, int stage, int p,
+                   const std::function<void(int)>& fn) {
+  par::parallel_for(
+      static_cast<std::size_t>(p),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          util::ThreadCpuTimer cpu;
+          util::Stopwatch watch;
+          fn(static_cast<int>(r));
+          rs.add_time(stage, static_cast<int>(r), cpu.seconds(),
+                      watch.seconds());
+        }
+      },
+      static_cast<unsigned>(p));
 }
 
-Item read_item(ByteReader& r) {
-  Item it;
-  it.index = r.u64();
-  it.rank = r.f64();
-  it.seq = par::read_sequence(r);
-  return it;
-}
-
-void sort_items(std::vector<Item>& items) {
-  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+void sort_refs(std::vector<RankedRef>& refs) {
+  std::sort(refs.begin(), refs.end(), [](const RankedRef& a,
+                                         const RankedRef& b) {
     if (a.rank != b.rank) return a.rank < b.rank;
     return a.index < b.index;  // deterministic tie-break
   });
@@ -160,15 +172,6 @@ Bytes encode_ops(std::span<const EditOp> ops) {
   w.u32(static_cast<std::uint32_t>(ops.size()));
   for (EditOp op : ops) w.u8(static_cast<std::uint8_t>(op));
   return w.take();
-}
-
-std::vector<EditOp> decode_ops(ByteReader& r) {
-  const std::uint32_t n = r.u32();
-  std::vector<EditOp> ops;
-  ops.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i)
-    ops.push_back(static_cast<EditOp>(r.u8()));
-  return ops;
 }
 
 // ---- Glue on the global-ancestor coordinate system ------------------------
@@ -281,14 +284,65 @@ Alignment glue_block_diagonal(std::span<const Alignment> locals,
   return Alignment(std::move(rows), kind);
 }
 
+/// Restores input row order of a glued alignment.
+Alignment reorder_rows(
+    const Alignment& glued,
+    const std::unordered_map<std::string, std::size_t>& pos_of_id) {
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  order.reserve(glued.num_rows());
+  for (std::size_t row = 0; row < glued.num_rows(); ++row)
+    order.emplace_back(pos_of_id.at(glued.row(row).id), row);
+  std::sort(order.begin(), order.end());
+  std::vector<std::size_t> rows;
+  rows.reserve(order.size());
+  for (const auto& [pos, row] : order) rows.push_back(row);
+  return glued.subset(rows);
+}
+
 }  // namespace
 
 SampleAlignD::SampleAlignD(SampleAlignDConfig config)
     : config_(std::move(config)) {
   if (config_.num_procs <= 0)
     throw std::invalid_argument("SampleAlignD: num_procs must be > 0");
-  if (!config_.local_aligner)
-    config_.local_aligner = msa::make_default_aligner(config_.threads);
+  if (!config_.local_aligner) {
+    if (config_.phase_stats == nullptr)
+      owned_phase_stats_ = std::make_shared<msa::AlignerPhaseStats>();
+    msa::MuscleOptions o;
+    o.threads = config_.threads;
+    o.use_artifact_cache = config_.use_artifact_cache;
+    o.phase_stats = config_.phase_stats != nullptr ? config_.phase_stats
+                                                   : owned_phase_stats_.get();
+    config_.local_aligner = std::make_shared<msa::MuscleAligner>(o);
+  }
+}
+
+util::Digest128 SampleAlignD::pipeline_hash(
+    std::span<const bio::Sequence> seqs) const {
+  util::StableHash h;
+  h.str("salign.pipeline");
+  h.u32(stage::kCheckpointFormatVersion);
+  h.u32(static_cast<std::uint32_t>(config_.num_procs));
+  h.u32(static_cast<std::uint32_t>(config_.kmer.k));
+  h.u8(config_.kmer.compressed ? 1 : 0);
+  h.u32(static_cast<std::uint32_t>(config_.samples_per_proc));
+  h.u8(config_.rank_mode == RankMode::Globalized ? 0 : 1);
+  h.u8(config_.ancestor_refinement ? 1 : 0);
+  h.u8(config_.polish_divergent ? 1 : 0);
+  h.f64(config_.consensus.max_gap_fraction);
+  h.f64(config_.polish.fraction);
+  h.u64(config_.polish.max_rows);
+  h.u32(static_cast<std::uint32_t>(config_.polish.passes));
+  bio::hash_gaps(h, config_.polish.gaps);
+  h.f64(static_cast<double>(config_.polish.min_gain));
+  bio::hash_matrix(h, *config_.matrix);
+  config_.local_aligner->hash_config(h);
+  // threads is deliberately NOT hashed: any thread count is bit-identical,
+  // so a checkpoint written with -t 8 must resume under -t 1 and vice versa.
+  const util::Digest128 in = bio::sequence_set_hash(seqs);
+  h.u64(in.hi);
+  h.u64(in.lo);
+  return h.digest128();
 }
 
 msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
@@ -305,8 +359,14 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
   }
 
   const int p = config_.num_procs;
+  const auto up = static_cast<std::size_t>(p);
   const auto n = seqs.size();
   util::Stopwatch wall;
+
+  msa::AlignerPhaseStats* phase_rec = config_.phase_stats != nullptr
+                                          ? config_.phase_stats
+                                          : owned_phase_stats_.get();
+  if (phase_rec != nullptr) phase_rec->reset();
 
   if (stats) {
     *stats = PipelineStats{};
@@ -322,29 +382,79 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
     }
   }
 
+  stage::StageContext ctx(config_.checkpoint, pipeline_hash(seqs));
+  stage::StageRunner runner(ctx);
+
+  // Checkpoint/cache provenance shared by both exits below.
+  const auto finish_stats = [&](PipelineStats& st) {
+    st.wall_seconds = wall.seconds();
+    for (const auto& rec : runner.records()) {
+      StageArtifactStats a;
+      a.name = rec.name;
+      a.paper_step = rec.paper_step;
+      a.bytes = rec.bytes;
+      a.resumed = rec.resumed;
+      a.seconds = rec.seconds;
+      st.artifacts.push_back(std::move(a));
+    }
+    st.resumed_stages = runner.resumed_stages();
+    if (phase_rec != nullptr) {
+      for (const auto& ph : phase_rec->snapshot()) {
+        AlignerPhaseSummary s;
+        s.name = ph.name;
+        s.wall_seconds = ph.wall_seconds;
+        s.runs = ph.runs;
+        s.cache_hits = ph.cache_hits;
+        st.aligner_phases.push_back(std::move(s));
+      }
+    }
+    if (config_.use_artifact_cache) {
+      const auto& cache = util::ArtifactCache::process_cache();
+      st.cache_note = util::cache_summary(cache.stats(), cache.capacity());
+    }
+  };
+
   // p == 1: the pipeline degenerates to the sequential aligner (no
   // communication, no tweak — matching the paper's baseline column).
   if (p == 1) {
     // A single rank runs undisturbed on the host, so wall time *is* the
     // dedicated-node time (and avoids the coarse granularity some
     // containers give CLOCK_THREAD_CPUTIME_ID).
-    util::Stopwatch cpu;
-    Alignment aln = config_.local_aligner->align(seqs);
+    double align_cpu = 0.0;
+    Alignment aln = runner.run(
+        "bucket-align", 11,
+        [&] {
+          util::Stopwatch cpu;
+          Alignment a = config_.local_aligner->align(seqs);
+          align_cpu = cpu.seconds();
+          return a;
+        },
+        par::write_alignment, par::read_alignment);
     if (stats) {
-      stats->stages[kLocalAlign].rank_seconds = {cpu.seconds()};
-      stats->stages[kLocalAlign].rank_wall_seconds = {cpu.seconds()};
+      stats->stages[kLocalAlign].rank_seconds = {align_cpu};
+      stats->stages[kLocalAlign].rank_wall_seconds = {align_cpu};
     }
     if (config_.polish_divergent && aln.num_rows() >= 3) {
-      util::Stopwatch polish_cpu;
-      (void)msa::polish_divergent_rows(aln, *config_.matrix, config_.polish);
+      double polish_cpu = 0.0;
+      aln = runner.run(
+          "polish", 0,
+          [&] {
+            util::Stopwatch cpu;
+            Alignment a = aln;
+            (void)msa::polish_divergent_rows(a, *config_.matrix,
+                                             config_.polish);
+            polish_cpu = cpu.seconds();
+            return a;
+          },
+          par::write_alignment, par::read_alignment);
       if (stats) {
-        stats->stages[kPolish].rank_seconds = {polish_cpu.seconds()};
-        stats->stages[kPolish].rank_wall_seconds = {polish_cpu.seconds()};
+        stats->stages[kPolish].rank_seconds = {polish_cpu};
+        stats->stages[kPolish].rank_wall_seconds = {polish_cpu};
       }
     }
     if (stats) {
       stats->bucket_sizes = {n};
-      stats->wall_seconds = wall.seconds();
+      finish_stats(*stats);
     }
     return aln;
   }
@@ -358,359 +468,403 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
           ? static_cast<std::size_t>(config_.samples_per_proc)
           : static_cast<std::size_t>(p - 1);
 
-  Alignment result;
-  std::vector<Bytes> stat_blobs;
+  RunStats rs(p);
 
-  par::Cluster cluster(p);
-  cluster.run([&](Communicator& comm) {
-    const int r = comm.rank();
-    const auto ur = static_cast<std::size_t>(r);
-    StageRecorder rec;
+  /// Materializes the sequences a partition references (the artifact form
+  /// stores indices; the sequences always come back from the input span, so
+  /// resumed and fresh runs read identical bytes).
+  const auto seqs_of = [&](const std::vector<RankedRef>& part) {
+    std::vector<Sequence> out;
+    out.reserve(part.size());
+    for (const RankedRef& ref : part) out.push_back(seqs[ref.index]);
+    return out;
+  };
+  const auto seqs_of_indices = [&](const std::vector<std::uint64_t>& idx) {
+    std::vector<Sequence> out;
+    out.reserve(idx.size());
+    for (std::uint64_t i : idx) out.push_back(seqs[i]);
+    return out;
+  };
 
-    // Step 1: contiguous block distribution, w = N/p (last rank may be
-    // short; the paper "divides the files into equal parts").
-    const std::size_t chunk =
-        (n + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
-    const std::size_t begin = std::min(n, ur * chunk);
-    const std::size_t end = std::min(n, begin + chunk);
-    std::vector<Item> items;
-    items.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i)
-      items.push_back(Item{i, 0.0, seqs[i]});
-
-    // Step 2: local k-mer rank (each sequence vs the local block).
-    rec.begin(kLocalRank);
-    {
-      std::vector<Sequence> local_seqs;
-      local_seqs.reserve(items.size());
-      for (const auto& it : items) local_seqs.push_back(it.seq);
-      const std::vector<double> ranks =
-          kmer::centralized_ranks(local_seqs, config_.kmer);
-      for (std::size_t i = 0; i < items.size(); ++i) items[i].rank = ranks[i];
+  // Step 1: contiguous block distribution, w = N/p (last rank may be short;
+  // the paper "divides the files into equal parts"). Deterministic dealing,
+  // so it is not a checkpointed stage of its own.
+  RankedPartition blocks(up);
+  {
+    const std::size_t chunk = (n + up - 1) / up;
+    for (std::size_t r = 0; r < up; ++r) {
+      const std::size_t begin = std::min(n, r * chunk);
+      const std::size_t end = std::min(n, begin + chunk);
+      blocks[r].reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i)
+        blocks[r].push_back(RankedRef{i, 0.0});
     }
+  }
 
-    // Step 3: local sort by rank.
-    rec.begin(kLocalSort);
-    sort_items(items);
+  // Step 2: local k-mer rank (each sequence vs the local block).
+  RankedPartition cur = runner.run(
+      "local-rank", 2,
+      [&] {
+        RankedPartition out = blocks;
+        for_each_rank(rs, kLocalRank, p, [&](int r) {
+          auto& part = out[static_cast<std::size_t>(r)];
+          const std::vector<double> ranks =
+              kmer::centralized_ranks(seqs_of(part), config_.kmer);
+          for (std::size_t i = 0; i < part.size(); ++i)
+            part[i].rank = ranks[i];
+        });
+        return out;
+      },
+      stage::write_ranked_partition, stage::read_ranked_partition);
 
-    // Steps 4-7 implement the globalized re-rank of §2.3.1; the predecessor
-    // Sample-Align system [34] (RankMode::LocalOnly) skips them and pivots
-    // on the local-block ranks — kept as the homogeneity-assumption
-    // ablation.
-    if (config_.rank_mode == RankMode::Globalized) {
-      // Step 4: choose k sample sequences, evenly spaced in rank order.
-      rec.begin(kSampleSelect);
-      std::vector<Sequence> my_samples;
-      {
-        const std::size_t k = std::min(samples_per_proc,
-                                       items.empty() ? 0 : items.size());
-        for (std::size_t i = 0; i < k; ++i) {
-          const std::size_t pos =
-              std::min(items.size() - 1, (i + 1) * items.size() / (k + 1));
-          my_samples.push_back(items[pos].seq);
-        }
-      }
+  // Step 3: local sort by rank.
+  cur = runner.run(
+      "local-sort", 3,
+      [&] {
+        RankedPartition out = cur;
+        for_each_rank(rs, kLocalSort, p, [&](int r) {
+          sort_refs(out[static_cast<std::size_t>(r)]);
+        });
+        return out;
+      },
+      stage::write_ranked_partition, stage::read_ranked_partition);
 
-      // Step 5: exchange samples (k*p sequences known to every rank).
-      rec.begin(kSampleExchange);
-      std::vector<Sequence> samples;
-      {
-        ByteWriter w;
-        par::write_sequences(w, my_samples);
-        Bytes payload = w.take();
-        rec.add_bytes(kSampleExchange,
-                      payload.size() * static_cast<std::size_t>(p - 1));
-        const std::vector<Bytes> all = comm.all_gather(std::move(payload));
-        for (const Bytes& b : all) {
-          ByteReader rd(b);
-          std::vector<Sequence> part = par::read_sequences(rd);
-          samples.insert(samples.end(),
-                         std::make_move_iterator(part.begin()),
+  // Steps 4-7 implement the globalized re-rank of §2.3.1; the predecessor
+  // Sample-Align system [34] (RankMode::LocalOnly) skips them and pivots on
+  // the local-block ranks — kept as the homogeneity-assumption ablation.
+  if (config_.rank_mode == RankMode::Globalized) {
+    // Step 4: choose k sample sequences, evenly spaced in rank order.
+    const std::vector<std::vector<std::uint64_t>> sample_idx = runner.run(
+        "sample-select", 4,
+        [&] {
+          std::vector<std::vector<std::uint64_t>> out(up);
+          for_each_rank(rs, kSampleSelect, p, [&](int r) {
+            const auto& items = cur[static_cast<std::size_t>(r)];
+            const std::size_t k =
+                std::min(samples_per_proc, items.empty() ? 0 : items.size());
+            for (std::size_t i = 0; i < k; ++i) {
+              const std::size_t pos =
+                  std::min(items.size() - 1, (i + 1) * items.size() / (k + 1));
+              out[static_cast<std::size_t>(r)].push_back(items[pos].index);
+            }
+          });
+          return out;
+        },
+        stage::write_index_lists, stage::read_index_lists);
+
+    // Step 5: exchange samples (k*p sequences known to every rank).
+    const std::vector<std::uint64_t> sample_flat = runner.run(
+        "sample-exchange", 5,
+        [&] {
+          // Send side: each rank serializes its contribution; the all-gather
+          // charges own-payload × (p-1) per rank.
+          std::vector<Bytes> msgs(up);
+          for_each_rank(rs, kSampleExchange, p, [&](int r) {
+            const auto ur = static_cast<std::size_t>(r);
+            ByteWriter w;
+            par::write_sequences(w, seqs_of_indices(sample_idx[ur]));
+            msgs[ur] = w.take();
+            rs.add_bytes(kSampleExchange, r, msgs[ur].size() * (up - 1));
+          });
+          // Receive side: every rank decodes all p payloads (identical
+          // results; the work is charged per rank as on the cluster).
+          for_each_rank(rs, kSampleExchange, p, [&](int) {
+            std::vector<Sequence> all;
+            for (const Bytes& b : msgs) {
+              ByteReader rd(b);
+              std::vector<Sequence> part = par::read_sequences(rd);
+              all.insert(all.end(), std::make_move_iterator(part.begin()),
                          std::make_move_iterator(part.end()));
-        }
-      }
+            }
+          });
+          std::vector<std::uint64_t> flat;
+          for (const auto& list : sample_idx)
+            flat.insert(flat.end(), list.begin(), list.end());
+          return flat;
+        },
+        stage::write_indices, stage::read_indices);
+    const std::vector<Sequence> samples = seqs_of_indices(sample_flat);
 
-      // Step 6: globalized rank — every local sequence vs the global
-      // sample.
-      rec.begin(kGlobalRank);
-      {
-        const std::vector<kmer::KmerProfile> ref =
-            kmer::build_profiles(samples, config_.kmer);
-        for (auto& it : items) {
-          const kmer::KmerProfile prof =
-              kmer::KmerProfile::from_sequence(it.seq, config_.kmer);
-          it.rank = kmer::rank_from_mean_similarity(
-              kmer::mean_similarity(prof, ref));
-        }
-      }
+    // Step 6: globalized rank — every local sequence vs the global sample.
+    cur = runner.run(
+        "global-rank", 6,
+        [&] {
+          RankedPartition out = cur;
+          for_each_rank(rs, kGlobalRank, p, [&](int r) {
+            const std::vector<kmer::KmerProfile> ref =
+                kmer::build_profiles(samples, config_.kmer);
+            for (RankedRef& item : out[static_cast<std::size_t>(r)]) {
+              const kmer::KmerProfile prof = kmer::KmerProfile::from_sequence(
+                  seqs[item.index], config_.kmer);
+              item.rank = kmer::rank_from_mean_similarity(
+                  kmer::mean_similarity(prof, ref));
+            }
+          });
+          return out;
+        },
+        stage::write_ranked_partition, stage::read_ranked_partition);
 
-      // Step 7: re-sort by globalized rank.
-      rec.begin(kGlobalSort);
-      sort_items(items);
-    }
+    // Step 7: re-sort by globalized rank.
+    cur = runner.run(
+        "global-sort", 7,
+        [&] {
+          RankedPartition out = cur;
+          for_each_rank(rs, kGlobalSort, p, [&](int r) {
+            sort_refs(out[static_cast<std::size_t>(r)]);
+          });
+          return out;
+        },
+        stage::write_ranked_partition, stage::read_ranked_partition);
+  }
 
-    // Step 8: regular sampling of rank keys to the root.
-    rec.begin(kPivotGather);
-    std::vector<double> pivots;
-    Bytes pivot_msg;
-    {
-      std::vector<double> keys;
-      keys.reserve(items.size());
-      for (const auto& it : items) keys.push_back(it.rank);
-      const std::vector<double> cand =
-          regular_samples(keys, static_cast<std::size_t>(p - 1));
-      ByteWriter w;
-      w.u32(static_cast<std::uint32_t>(cand.size()));
-      for (double c : cand) w.f64(c);
-      Bytes payload = w.take();
-      rec.add_bytes(kPivotGather, r == 0 ? 0 : payload.size());
-      const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
-
-      // Step 9: root sorts the p(p-1) candidates and picks p-1 pivots.
-      if (r == 0) {
-        rec.begin(kPivotSelect);
-        std::vector<double> all;
-        for (const Bytes& b : gathered) {
-          ByteReader rd(b);
+  // Steps 8-9: regular sampling of rank keys; root sorts the p(p-1)
+  // candidates, picks p-1 pivots and broadcasts them.
+  const std::vector<double> pivots = runner.run(
+      "pivot-select", 8,
+      [&] {
+        std::vector<std::vector<double>> cands(up);
+        for_each_rank(rs, kPivotGather, p, [&](int r) {
+          const auto ur = static_cast<std::size_t>(r);
+          std::vector<double> keys;
+          keys.reserve(cur[ur].size());
+          for (const RankedRef& item : cur[ur]) keys.push_back(item.rank);
+          cands[ur] = regular_samples(keys, up - 1);
+          ByteWriter w;
+          w.u32(static_cast<std::uint32_t>(cands[ur].size()));
+          for (double c : cands[ur]) w.f64(c);
+          rs.add_bytes(kPivotGather, r, r == 0 ? 0 : w.size());
+        });
+        std::vector<double> chosen;
+        Bytes pivot_msg;
+        rs.timed_root(kPivotSelect, [&] {
+          std::vector<double> all;
+          for (const auto& c : cands) all.insert(all.end(), c.begin(), c.end());
+          chosen = choose_pivots(std::move(all), p);
+          ByteWriter pw;
+          pw.u32(static_cast<std::uint32_t>(chosen.size()));
+          for (double v : chosen) pw.f64(v);
+          pivot_msg = pw.take();
+          rs.add_bytes(kPivotBcast, 0, pivot_msg.size() * (up - 1));
+        });
+        // Receive side of the broadcast.
+        for_each_rank(rs, kPivotBcast, p, [&](int) {
+          ByteReader rd{std::span<const std::uint8_t>(pivot_msg)};
           const std::uint32_t k = rd.u32();
-          for (std::uint32_t i = 0; i < k; ++i) all.push_back(rd.f64());
-        }
-        pivots = choose_pivots(std::move(all), p);
-        ByteWriter pw;
-        pw.u32(static_cast<std::uint32_t>(pivots.size()));
-        for (double v : pivots) pw.f64(v);
-        pivot_msg = pw.take();
-        rec.add_bytes(kPivotBcast,
-                      pivot_msg.size() * static_cast<std::size_t>(p - 1));
-      }
-    }
-    rec.begin(kPivotBcast);
-    pivot_msg = comm.broadcast(0, std::move(pivot_msg));
-    {
-      ByteReader rd(pivot_msg);
-      const std::uint32_t k = rd.u32();
-      pivots.clear();
-      pivots.reserve(k);
-      for (std::uint32_t i = 0; i < k; ++i) pivots.push_back(rd.f64());
-    }
+          std::vector<double> got;
+          got.reserve(k);
+          for (std::uint32_t i = 0; i < k; ++i) got.push_back(rd.f64());
+        });
+        return chosen;
+      },
+      stage::write_doubles, stage::read_doubles);
 
-    // Step 10: bucket the local sequences and redistribute all-to-all.
-    rec.begin(kBucketPartition);
-    std::vector<ByteWriter> writers(static_cast<std::size_t>(p));
-    std::vector<std::uint32_t> counts(static_cast<std::size_t>(p), 0);
-    for (const auto& it : items) ++counts[bucket_of(it.rank, pivots)];
-    for (std::size_t d = 0; d < writers.size(); ++d) writers[d].u32(counts[d]);
-    for (const auto& it : items)
-      write_item(writers[bucket_of(it.rank, pivots)], it);
-    items.clear();
-    items.shrink_to_fit();
-
-    rec.begin(kRedistribute);
-    std::vector<Item> bucket;
-    {
-      std::vector<Bytes> outgoing;
-      outgoing.reserve(writers.size());
-      std::uint64_t sent = 0;
-      for (std::size_t d = 0; d < writers.size(); ++d) {
-        Bytes b = writers[d].take();
-        if (d != ur) sent += b.size();
-        outgoing.push_back(std::move(b));
-      }
-      rec.add_bytes(kRedistribute, sent);
-      const std::vector<Bytes> incoming = comm.all_to_all(std::move(outgoing));
-      for (const Bytes& b : incoming) {
-        ByteReader rd(b);
-        const std::uint32_t k = rd.u32();
-        for (std::uint32_t i = 0; i < k; ++i) bucket.push_back(read_item(rd));
-      }
-      sort_items(bucket);
-    }
-
-    // Step 11: sequential MSA on the bucket.
-    rec.begin(kLocalAlign);
-    Alignment local_aln;
-    {
-      std::vector<Sequence> bucket_seqs;
-      bucket_seqs.reserve(bucket.size());
-      for (const auto& it : bucket) bucket_seqs.push_back(it.seq);
-      if (!bucket_seqs.empty())
-        local_aln = config_.local_aligner->align(bucket_seqs);
-    }
-
-    if (config_.ancestor_refinement) {
-      // Step 12: local ancestor.
-      rec.begin(kAncestorExtract);
-      Sequence ancestor("ancestor_" + std::to_string(r),
-                        std::vector<std::uint8_t>{},
-                        local_aln.empty() ? bio::AlphabetKind::AminoAcid
-                                          : local_aln.alphabet_kind());
-      if (!local_aln.empty())
-        ancestor = msa::consensus_sequence(
-            local_aln, "ancestor_" + std::to_string(r), config_.consensus);
-
-      // Step 13: gather ancestors; root aligns them into the global
-      // ancestor and broadcasts it.
-      rec.begin(kAncestorGather);
-      Bytes ga_msg;
-      {
-        ByteWriter w;
-        par::write_sequence(w, ancestor);
-        Bytes payload = w.take();
-        rec.add_bytes(kAncestorGather, r == 0 ? 0 : payload.size());
-        const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
-        if (r == 0) {
-          rec.begin(kAncestorAlign);
-          std::vector<Sequence> ancestors;
-          for (const Bytes& b : gathered) {
-            ByteReader rd(b);
-            Sequence a = par::read_sequence(rd);
-            if (!a.empty()) ancestors.push_back(std::move(a));
+  // Step 10: bucket the local sequences and redistribute all-to-all.
+  const RankedPartition buckets = runner.run(
+      "redistribute", 10,
+      [&] {
+        // send[src][dst], in src-local order — the deterministic equivalent
+        // of the personalized all-to-all's per-destination messages.
+        std::vector<RankedPartition> send(up, RankedPartition(up));
+        for_each_rank(rs, kBucketPartition, p, [&](int r) {
+          const auto ur = static_cast<std::size_t>(r);
+          std::vector<ByteWriter> writers(up);
+          std::vector<std::uint32_t> counts(up, 0);
+          for (const RankedRef& item : cur[ur])
+            ++counts[bucket_of(item.rank, pivots)];
+          for (std::size_t d = 0; d < up; ++d) writers[d].u32(counts[d]);
+          for (const RankedRef& item : cur[ur]) {
+            const std::size_t d = bucket_of(item.rank, pivots);
+            writers[d].u64(item.index);
+            writers[d].f64(item.rank);
+            par::write_sequence(writers[d], seqs[item.index]);
+            send[ur][d].push_back(item);
           }
-          Sequence ga("global_ancestor", std::vector<std::uint8_t>{},
-                      bio::AlphabetKind::AminoAcid);
-          if (ancestors.size() == 1) {
-            ga = Sequence("global_ancestor",
-                          std::vector<std::uint8_t>(
-                              ancestors[0].codes().begin(),
-                              ancestors[0].codes().end()),
-                          ancestors[0].alphabet_kind());
-          } else if (!ancestors.empty()) {
-            const Alignment anc_aln = config_.local_aligner->align(ancestors);
-            ga = msa::consensus_sequence(anc_aln, "global_ancestor",
-                                         config_.consensus);
+          std::uint64_t sent = 0;
+          for (std::size_t d = 0; d < up; ++d) {
+            const Bytes b = writers[d].take();
+            if (d != ur) sent += b.size();
           }
-          ByteWriter gw;
-          par::write_sequence(gw, ga);
-          ga_msg = gw.take();
-          rec.add_bytes(kAncestorBcast,
-                        ga_msg.size() * static_cast<std::size_t>(p - 1));
-        }
-      }
-      rec.begin(kAncestorBcast);
-      ga_msg = comm.broadcast(0, std::move(ga_msg));
-      Sequence ga = [&] {
-        ByteReader rd(ga_msg);
-        return par::read_sequence(rd);
-      }();
+          rs.add_bytes(kRedistribute, r, sent);
+        });
+        RankedPartition out(up);
+        for_each_rank(rs, kRedistribute, p, [&](int d) {
+          const auto ud = static_cast<std::size_t>(d);
+          for (std::size_t src = 0; src < up; ++src)
+            out[ud].insert(out[ud].end(), send[src][ud].begin(),
+                           send[src][ud].end());
+          sort_refs(out[ud]);
+        });
+        return out;
+      },
+      stage::write_ranked_partition, stage::read_ranked_partition);
 
-      // Step 14: tweak — profile-profile align the local alignment against
-      // the global-ancestor profile.
-      rec.begin(kTweak);
-      std::vector<EditOp> path;
-      if (!local_aln.empty()) {
-        const msa::Profile pl(local_aln, *config_.matrix);
-        if (ga.empty()) {
-          path.assign(local_aln.num_cols(), EditOp::GapInB);
-        } else {
-          const msa::Profile pg(Alignment::from_sequence(ga), *config_.matrix);
-          msa::ProfileAlignOptions po;
-          po.gaps = config_.matrix->default_gaps();
-          path = msa::align_profiles(pl, pg, po).ops;
-        }
-      } else if (!ga.empty()) {
-        path.assign(ga.size(), EditOp::GapInA);
-      }
+  // Step 11: sequential MSA on the bucket.
+  const std::vector<Alignment> locals = runner.run(
+      "bucket-align", 11,
+      [&] {
+        std::vector<Alignment> out(up);
+        for_each_rank(rs, kLocalAlign, p, [&](int r) {
+          const auto ur = static_cast<std::size_t>(r);
+          const std::vector<Sequence> bucket_seqs = seqs_of(buckets[ur]);
+          if (!bucket_seqs.empty())
+            out[ur] = config_.local_aligner->align(bucket_seqs);
+        });
+        return out;
+      },
+      stage::write_alignments, stage::read_alignments);
 
-      // Step 15: glue at the root.
-      rec.begin(kGlueGather);
-      {
-        ByteWriter w;
-        par::write_alignment(w, local_aln);
-        const Bytes ops_bytes = encode_ops(path);
-        w.bytes(ops_bytes);
-        Bytes payload = w.take();
-        rec.add_bytes(kGlueGather, r == 0 ? 0 : payload.size());
-        const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
-        if (r == 0) {
-          rec.begin(kGlue);
-          std::vector<Alignment> locals;
-          std::vector<std::vector<EditOp>> paths;
-          for (const Bytes& b : gathered) {
-            ByteReader rd(b);
-            locals.push_back(par::read_alignment(rd));
-            const Bytes ob = rd.bytes();
-            ByteReader ord(ob);
-            paths.push_back(decode_ops(ord));
-          }
-          Alignment glued = glue_on_ancestor(locals, paths, ga.size(),
-                                             seqs[0].alphabet_kind());
-          // Restore input order.
-          std::vector<std::pair<std::size_t, std::size_t>> order;
-          order.reserve(glued.num_rows());
-          for (std::size_t row = 0; row < glued.num_rows(); ++row)
-            order.emplace_back(pos_of_id.at(glued.row(row).id), row);
-          std::sort(order.begin(), order.end());
-          std::vector<std::size_t> rows;
-          rows.reserve(order.size());
-          for (const auto& [pos, row] : order) rows.push_back(row);
-          result = glued.subset(rows);
-        }
-      }
-    } else {
-      // Ablation: no ancestor constraint — gather raw bucket alignments and
-      // concatenate block-diagonally.
-      rec.begin(kGlueGather);
-      ByteWriter w;
-      par::write_alignment(w, local_aln);
-      Bytes payload = w.take();
-      rec.add_bytes(kGlueGather, r == 0 ? 0 : payload.size());
-      const std::vector<Bytes> gathered = comm.gather(0, std::move(payload));
-      if (r == 0) {
-        rec.begin(kGlue);
-        std::vector<Alignment> locals;
-        for (const Bytes& b : gathered) {
-          ByteReader rd(b);
-          locals.push_back(par::read_alignment(rd));
-        }
-        Alignment glued =
-            glue_block_diagonal(locals, seqs[0].alphabet_kind());
-        std::vector<std::pair<std::size_t, std::size_t>> order;
-        for (std::size_t row = 0; row < glued.num_rows(); ++row)
-          order.emplace_back(pos_of_id.at(glued.row(row).id), row);
-        std::sort(order.begin(), order.end());
-        std::vector<std::size_t> rows;
-        rows.reserve(order.size());
-        for (const auto& [pos, row] : order) rows.push_back(row);
-        result = glued.subset(rows);
-      }
-    }
+  Alignment result;
+  if (config_.ancestor_refinement) {
+    // Steps 12-13: local ancestors; root aligns them into the global
+    // ancestor and broadcasts it.
+    const Sequence ga = runner.run(
+        "ancestor", 12,
+        [&] {
+          std::vector<Sequence> ancestors(up);
+          for_each_rank(rs, kAncestorExtract, p, [&](int r) {
+            const auto ur = static_cast<std::size_t>(r);
+            const Alignment& local_aln = locals[ur];
+            ancestors[ur] =
+                Sequence("ancestor_" + std::to_string(r),
+                         std::vector<std::uint8_t>{},
+                         local_aln.empty() ? bio::AlphabetKind::AminoAcid
+                                           : local_aln.alphabet_kind());
+            if (!local_aln.empty())
+              ancestors[ur] = msa::consensus_sequence(
+                  local_aln, "ancestor_" + std::to_string(r),
+                  config_.consensus);
+          });
+          for_each_rank(rs, kAncestorGather, p, [&](int r) {
+            ByteWriter w;
+            par::write_sequence(w, ancestors[static_cast<std::size_t>(r)]);
+            rs.add_bytes(kAncestorGather, r, r == 0 ? 0 : w.size());
+          });
+          Sequence global("global_ancestor", std::vector<std::uint8_t>{},
+                          bio::AlphabetKind::AminoAcid);
+          Bytes ga_msg;
+          rs.timed_root(kAncestorAlign, [&] {
+            std::vector<Sequence> present;
+            for (const Sequence& a : ancestors)
+              if (!a.empty()) present.push_back(a);
+            if (present.size() == 1) {
+              global = Sequence("global_ancestor",
+                                std::vector<std::uint8_t>(
+                                    present[0].codes().begin(),
+                                    present[0].codes().end()),
+                                present[0].alphabet_kind());
+            } else if (!present.empty()) {
+              const Alignment anc_aln = config_.local_aligner->align(present);
+              global = msa::consensus_sequence(anc_aln, "global_ancestor",
+                                               config_.consensus);
+            }
+            ByteWriter gw;
+            par::write_sequence(gw, global);
+            ga_msg = gw.take();
+            rs.add_bytes(kAncestorBcast, 0, ga_msg.size() * (up - 1));
+          });
+          // Receive side of the broadcast.
+          for_each_rank(rs, kAncestorBcast, p, [&](int) {
+            ByteReader rd{std::span<const std::uint8_t>(ga_msg)};
+            (void)par::read_sequence(rd);
+          });
+          return global;
+        },
+        par::write_sequence, par::read_sequence);
 
-    // Future-work refinement (paper §5): root-side re-alignment of the most
-    // divergent rows against the global profile.
-    if (r == 0 && config_.polish_divergent && result.num_rows() >= 3) {
-      rec.begin(kPolish);
-      (void)msa::polish_divergent_rows(result, *config_.matrix,
-                                       config_.polish);
-    }
-    rec.end();
+    // Step 14: tweak — profile-profile align the local alignment against
+    // the global-ancestor profile.
+    const std::vector<std::vector<EditOp>> paths = runner.run(
+        "tweak", 14,
+        [&] {
+          std::vector<std::vector<EditOp>> out(up);
+          for_each_rank(rs, kTweak, p, [&](int r) {
+            const auto ur = static_cast<std::size_t>(r);
+            const Alignment& local_aln = locals[ur];
+            if (!local_aln.empty()) {
+              const msa::Profile pl(local_aln, *config_.matrix);
+              if (ga.empty()) {
+                out[ur].assign(local_aln.num_cols(), EditOp::GapInB);
+              } else {
+                const msa::Profile pg(Alignment::from_sequence(ga),
+                                      *config_.matrix);
+                msa::ProfileAlignOptions po;
+                po.gaps = config_.matrix->default_gaps();
+                out[ur] = msa::align_profiles(pl, pg, po).ops;
+              }
+            } else if (!ga.empty()) {
+              out[ur].assign(ga.size(), EditOp::GapInA);
+            }
+          });
+          return out;
+        },
+        stage::write_paths, stage::read_paths);
 
-    // Stats: every rank reports its stage record and bucket size.
-    const std::vector<Bytes> blobs =
-        comm.gather(0, rec.serialize(bucket.size()));
-    if (r == 0) stat_blobs = blobs;
-  });
+    // Step 15: glue at the root on the shared ancestor coordinates.
+    result = runner.run(
+        "glue", 15,
+        [&] {
+          for_each_rank(rs, kGlueGather, p, [&](int r) {
+            const auto ur = static_cast<std::size_t>(r);
+            ByteWriter w;
+            par::write_alignment(w, locals[ur]);
+            const Bytes ops_bytes = encode_ops(paths[ur]);
+            w.bytes(ops_bytes);
+            rs.add_bytes(kGlueGather, r, r == 0 ? 0 : w.size());
+          });
+          Alignment reordered;
+          rs.timed_root(kGlue, [&] {
+            const Alignment glued = glue_on_ancestor(
+                locals, paths, ga.size(), seqs[0].alphabet_kind());
+            reordered = reorder_rows(glued, pos_of_id);
+          });
+          return reordered;
+        },
+        par::write_alignment, par::read_alignment);
+  } else {
+    // Ablation: no ancestor constraint — gather raw bucket alignments and
+    // concatenate block-diagonally.
+    result = runner.run(
+        "glue", 15,
+        [&] {
+          for_each_rank(rs, kGlueGather, p, [&](int r) {
+            ByteWriter w;
+            par::write_alignment(w, locals[static_cast<std::size_t>(r)]);
+            rs.add_bytes(kGlueGather, r, r == 0 ? 0 : w.size());
+          });
+          Alignment reordered;
+          rs.timed_root(kGlue, [&] {
+            const Alignment glued =
+                glue_block_diagonal(locals, seqs[0].alphabet_kind());
+            reordered = reorder_rows(glued, pos_of_id);
+          });
+          return reordered;
+        },
+        par::write_alignment, par::read_alignment);
+  }
+
+  // Future-work refinement (paper §5): root-side re-alignment of the most
+  // divergent rows against the global profile.
+  if (config_.polish_divergent && result.num_rows() >= 3) {
+    result = runner.run(
+        "polish", 0,
+        [&] {
+          Alignment a;
+          rs.timed_root(kPolish, [&] {
+            a = result;
+            (void)msa::polish_divergent_rows(a, *config_.matrix,
+                                             config_.polish);
+          });
+          return a;
+        },
+        par::write_alignment, par::read_alignment);
+  }
 
   if (stats) {
-    stats->bucket_sizes.resize(static_cast<std::size_t>(p));
-    for (int s = 0; s < kNumStages; ++s) {
-      stats->stages[static_cast<std::size_t>(s)].rank_seconds.assign(
-          static_cast<std::size_t>(p), 0.0);
-      stats->stages[static_cast<std::size_t>(s)].rank_wall_seconds.assign(
-          static_cast<std::size_t>(p), 0.0);
-    }
-    for (std::size_t rank = 0; rank < stat_blobs.size(); ++rank) {
-      ByteReader rd(stat_blobs[rank]);
-      stats->bucket_sizes[rank] = rd.u64();
-      for (int s = 0; s < kNumStages; ++s) {
-        auto& stage = stats->stages[static_cast<std::size_t>(s)];
-        stage.rank_seconds[rank] = rd.f64();
-        stage.rank_wall_seconds[rank] = rd.f64();
-        const std::uint64_t bytes = rd.u64();
-        stage.total_bytes += bytes;
-        stage.max_bytes_per_rank = std::max(stage.max_bytes_per_rank, bytes);
-      }
-    }
-    stats->wall_seconds = wall.seconds();
+    stats->bucket_sizes.resize(up);
+    for (std::size_t d = 0; d < up; ++d)
+      stats->bucket_sizes[d] = buckets[d].size();
+    rs.export_to(*stats);
+    finish_stats(*stats);
   }
 
   result.validate();

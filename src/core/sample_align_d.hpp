@@ -35,23 +35,47 @@ namespace salign::core {
 ///   15. root: glue the tweaked bucket alignments on the shared
 ///       global-ancestor coordinate system and restore input row order.
 ///
-/// The run executes on the in-process cluster runtime (par::Cluster) with
-/// one thread per simulated processor; `PipelineStats` reports both wall
-/// time and the modeled dedicated-cluster makespan.
+/// The run executes as an explicit typed stage graph (core/stage): every
+/// paper step above is a named stage whose output is a serializable,
+/// content-hashed artifact. A stage's per-rank work runs concurrently (one
+/// worker per simulated processor, drawn from the shared thread pool, as the
+/// former in-process cluster runtime did), and rank-to-rank communication is
+/// deterministic data movement at stage boundaries — serialized through the
+/// same par:: codecs as before, so `PipelineStats` byte accounting is
+/// unchanged and still reports both wall time and the modeled
+/// dedicated-cluster makespan.
+///
+/// The stage graph is what makes runs resumable: with
+/// SampleAlignDConfig::checkpoint.dir set, every completed stage is
+/// persisted (artifact + manifest row keyed by a chain hash over the
+/// pipeline identity), and a later run with checkpoint.resume loads
+/// completed stages back instead of recomputing them. Because resumed
+/// values decode through exactly the codec the fresh run encoded with, a
+/// resumed run is bit-identical to a fresh one — for any thread count.
 class SampleAlignD {
  public:
   explicit SampleAlignD(SampleAlignDConfig config = {});
 
   /// Aligns `seqs` (unique ids required) and returns a validated MSA whose
   /// rows degap to the inputs in input order. With num_procs == 1 the
-  /// result is exactly the configured sequential aligner's output.
+  /// result is exactly the configured sequential aligner's output. Throws
+  /// stage::StageAbort when the checkpoint fail_after test hook fires.
   [[nodiscard]] msa::Alignment align(std::span<const bio::Sequence> seqs,
                                      PipelineStats* stats = nullptr) const;
 
   [[nodiscard]] const SampleAlignDConfig& config() const { return config_; }
 
+  /// The content hash identifying a run of this configuration over `seqs` —
+  /// what checkpoint manifests are keyed by (`salign stages` recomputes it
+  /// to verify a directory matches an input).
+  [[nodiscard]] util::Digest128 pipeline_hash(
+      std::span<const bio::Sequence> seqs) const;
+
  private:
   SampleAlignDConfig config_;
+  /// Recorder behind the default aligner's phase stats when the caller did
+  /// not supply one (SampleAlignDConfig::phase_stats).
+  std::shared_ptr<msa::AlignerPhaseStats> owned_phase_stats_;
 };
 
 }  // namespace salign::core

@@ -1,0 +1,97 @@
+#include "core/stage/artifacts.hpp"
+
+namespace salign::core::stage {
+
+void write_ranked_partition(par::ByteWriter& w, const RankedPartition& parts) {
+  w.u32(static_cast<std::uint32_t>(parts.size()));
+  for (const auto& part : parts) {
+    w.u32(static_cast<std::uint32_t>(part.size()));
+    for (const RankedRef& ref : part) {
+      w.u64(ref.index);
+      w.f64(ref.rank);
+    }
+  }
+}
+
+RankedPartition read_ranked_partition(par::ByteReader& r) {
+  RankedPartition parts(r.u32());
+  for (auto& part : parts) {
+    part.resize(r.u32());
+    for (RankedRef& ref : part) {
+      ref.index = r.u64();
+      ref.rank = r.f64();
+    }
+  }
+  return parts;
+}
+
+void write_index_lists(par::ByteWriter& w,
+                       const std::vector<std::vector<std::uint64_t>>& lists) {
+  w.u32(static_cast<std::uint32_t>(lists.size()));
+  for (const auto& list : lists) write_indices(w, list);
+}
+
+std::vector<std::vector<std::uint64_t>> read_index_lists(par::ByteReader& r) {
+  std::vector<std::vector<std::uint64_t>> lists(r.u32());
+  for (auto& list : lists) list = read_indices(r);
+  return lists;
+}
+
+void write_indices(par::ByteWriter& w, const std::vector<std::uint64_t>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint64_t x : v) w.u64(x);
+}
+
+std::vector<std::uint64_t> read_indices(par::ByteReader& r) {
+  std::vector<std::uint64_t> v(r.u32());
+  for (std::uint64_t& x : v) x = r.u64();
+  return v;
+}
+
+void write_doubles(par::ByteWriter& w, const std::vector<double>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) w.f64(x);
+}
+
+std::vector<double> read_doubles(par::ByteReader& r) {
+  std::vector<double> v(r.u32());
+  for (double& x : v) x = r.f64();
+  return v;
+}
+
+void write_alignments(par::ByteWriter& w,
+                      std::span<const msa::Alignment> alns) {
+  w.u32(static_cast<std::uint32_t>(alns.size()));
+  for (const msa::Alignment& a : alns) par::write_alignment(w, a);
+}
+
+std::vector<msa::Alignment> read_alignments(par::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<msa::Alignment> alns;
+  alns.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    alns.push_back(par::read_alignment(r));
+  return alns;
+}
+
+void write_paths(par::ByteWriter& w,
+                 const std::vector<std::vector<align::EditOp>>& paths) {
+  w.u32(static_cast<std::uint32_t>(paths.size()));
+  for (const auto& path : paths) {
+    w.u32(static_cast<std::uint32_t>(path.size()));
+    for (align::EditOp op : path) w.u8(static_cast<std::uint8_t>(op));
+  }
+}
+
+std::vector<std::vector<align::EditOp>> read_paths(par::ByteReader& r) {
+  std::vector<std::vector<align::EditOp>> paths(r.u32());
+  for (auto& path : paths) {
+    const std::uint32_t n = r.u32();
+    path.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      path.push_back(static_cast<align::EditOp>(r.u8()));
+  }
+  return paths;
+}
+
+}  // namespace salign::core::stage

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/pairwise.hpp"
+#include "msa/alignment.hpp"
+#include "par/serialize.hpp"
+
+namespace salign::core::stage {
+
+/// Typed payloads of the Sample-Align-D stage graph and their stable binary
+/// codecs. Rank/sort/partition stages store compact (sequence index, rank
+/// key) references — the sequences themselves are re-read from the input on
+/// resume, which both shrinks checkpoints and guarantees a resumed run sees
+/// exactly the bytes a fresh one would. Alignment-bearing stages store the
+/// full alignments (they are the expensive artifacts resume exists to skip).
+
+/// A sequence travelling through the pipeline: original input position (for
+/// deterministic ties and final row order) and current rank key.
+struct RankedRef {
+  std::uint64_t index = 0;
+  double rank = 0.0;
+
+  friend bool operator==(const RankedRef&, const RankedRef&) = default;
+};
+
+/// Per-rank (or per-bucket) partition of the input, in pipeline order.
+using RankedPartition = std::vector<std::vector<RankedRef>>;
+
+void write_ranked_partition(par::ByteWriter& w, const RankedPartition& parts);
+[[nodiscard]] RankedPartition read_ranked_partition(par::ByteReader& r);
+
+void write_index_lists(par::ByteWriter& w,
+                       const std::vector<std::vector<std::uint64_t>>& lists);
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> read_index_lists(
+    par::ByteReader& r);
+
+void write_indices(par::ByteWriter& w, const std::vector<std::uint64_t>& v);
+[[nodiscard]] std::vector<std::uint64_t> read_indices(par::ByteReader& r);
+
+void write_doubles(par::ByteWriter& w, const std::vector<double>& v);
+[[nodiscard]] std::vector<double> read_doubles(par::ByteReader& r);
+
+void write_alignments(par::ByteWriter& w,
+                      std::span<const msa::Alignment> alns);
+[[nodiscard]] std::vector<msa::Alignment> read_alignments(par::ByteReader& r);
+
+void write_paths(par::ByteWriter& w,
+                 const std::vector<std::vector<align::EditOp>>& paths);
+[[nodiscard]] std::vector<std::vector<align::EditOp>> read_paths(
+    par::ByteReader& r);
+
+}  // namespace salign::core::stage

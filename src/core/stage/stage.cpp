@@ -1,0 +1,187 @@
+#include "core/stage/stage.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/string_util.hpp"
+
+namespace salign::core::stage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.tsv";
+constexpr const char* kManifestMagic = "salign-checkpoint";
+
+std::string manifest_path(const std::string& dir) {
+  return (fs::path(dir) / kManifestName).string();
+}
+
+/// tmp+rename so a kill mid-write can never leave a half-written file under
+/// the final name (the unit of durability the resume tests rely on).
+void write_file_atomic(const fs::path& target, std::span<const std::uint8_t> bytes) {
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("checkpoint: cannot write " + tmp.string());
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f) throw std::runtime_error("checkpoint: short write " + tmp.string());
+  }
+  fs::rename(tmp, target);
+}
+
+}  // namespace
+
+std::string StageRunner::artifact_filename(const ArtifactRecord& rec) {
+  std::string n = rec.index < 10 ? "0" : "";
+  n += std::to_string(rec.index);
+  n += '-';
+  n += rec.name;
+  n += ".bin";
+  return n;
+}
+
+void StageRunner::advance_chain(std::string_view name, int paper_step) {
+  util::StableHash h;
+  h.u64(chain_.hi);
+  h.u64(chain_.lo);
+  h.str(name);
+  h.u32(static_cast<std::uint32_t>(paper_step));
+  chain_ = h.digest128();
+}
+
+StageContext::StageContext(CheckpointOptions options,
+                           util::Digest128 pipeline_hash)
+    : options_(std::move(options)), pipeline_hash_(pipeline_hash) {
+  if (!options_.resume || options_.dir.empty()) return;
+  try {
+    Manifest m = read_manifest(options_.dir);
+    // A checkpoint written by a different binary version, configuration or
+    // input is silently ignored: every stage recomputes and the manifest is
+    // rewritten — resume is an optimization, never a correctness input.
+    if (m.format_version == kCheckpointFormatVersion &&
+        m.pipeline_hash == pipeline_hash_)
+      previous_ = std::move(m.records);
+  } catch (const std::exception&) {
+    // Missing/corrupt manifest: nothing to resume from.
+  }
+}
+
+std::optional<par::Bytes> StageContext::load(
+    const util::Digest128& chain) const {
+  for (const ArtifactRecord& rec : previous_) {
+    if (rec.chain != chain) continue;
+    try {
+      par::Bytes payload;
+      if (read_artifact(options_.dir, rec, payload)) return payload;
+    } catch (const std::exception&) {
+      // fall through: recompute
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void StageContext::store(const StageArtifact& artifact) {
+  if (!checkpointing()) return;
+  fs::create_directories(options_.dir);
+  write_file_atomic(fs::path(options_.dir) / artifact.record.file,
+                    artifact.payload);
+  current_.push_back(artifact.record);
+  flush_manifest();
+  const int written = stored_count_++;
+  if (options_.fail_after >= 0 && written == options_.fail_after)
+    throw StageAbort("checkpoint test hook: aborted after stage '" +
+                     artifact.record.name + "'");
+}
+
+void StageContext::keep(const ArtifactRecord& record) {
+  if (!checkpointing()) return;
+  current_.push_back(record);
+  flush_manifest();
+}
+
+void StageContext::flush_manifest() const {
+  std::string text;
+  text += kManifestMagic;
+  text += '\t';
+  text += std::to_string(kCheckpointFormatVersion);
+  text += '\t';
+  text += pipeline_hash_.hex();
+  text += '\n';
+  for (const ArtifactRecord& rec : current_) {
+    text += std::to_string(rec.index);
+    text += '\t';
+    text += rec.name;
+    text += '\t';
+    text += std::to_string(rec.paper_step);
+    text += '\t';
+    text += rec.chain.hex();
+    text += '\t';
+    text += rec.payload.hex();
+    text += '\t';
+    text += std::to_string(rec.bytes);
+    text += '\t';
+    text += rec.file;
+    text += '\n';
+  }
+  write_file_atomic(
+      fs::path(manifest_path(options_.dir)),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Manifest read_manifest(const std::string& dir) {
+  std::ifstream f(manifest_path(dir));
+  if (!f)
+    throw std::runtime_error("checkpoint: no manifest in '" + dir + "'");
+  Manifest m;
+  std::string line;
+  if (!std::getline(f, line))
+    throw std::runtime_error("checkpoint: empty manifest in '" + dir + "'");
+  {
+    const std::vector<std::string> head = util::split(line, '\t');
+    if (head.size() != 3 || head[0] != kManifestMagic ||
+        !util::Digest128::parse(head[2], m.pipeline_hash))
+      throw std::runtime_error("checkpoint: malformed manifest header");
+    m.format_version = static_cast<std::uint32_t>(std::stoul(head[1]));
+  }
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cols = util::split(line, '\t');
+    if (cols.size() != 7)
+      throw std::runtime_error("checkpoint: malformed manifest row");
+    ArtifactRecord rec;
+    rec.index = std::stoi(cols[0]);
+    rec.name = cols[1];
+    rec.paper_step = std::stoi(cols[2]);
+    if (!util::Digest128::parse(cols[3], rec.chain) ||
+        !util::Digest128::parse(cols[4], rec.payload))
+      throw std::runtime_error("checkpoint: malformed manifest digest");
+    rec.bytes = std::stoull(cols[5]);
+    rec.file = cols[6];
+    m.records.push_back(std::move(rec));
+  }
+  return m;
+}
+
+bool read_artifact(const std::string& dir, const ArtifactRecord& rec,
+                   par::Bytes& payload) {
+  const fs::path path = fs::path(dir) / rec.file;
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw std::runtime_error("checkpoint: missing artifact " + path.string());
+  payload.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  if (payload.size() != rec.bytes ||
+      util::stable_hash128(payload) != rec.payload) {
+    payload.clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace salign::core::stage

@@ -131,6 +131,28 @@ GuideTree GuideTree::upgma(const util::SymmetricMatrix<double>& distances) {
   return tree;
 }
 
+GuideTree GuideTree::from_nodes(std::vector<TreeNode> nodes,
+                                std::size_t num_leaves, int root) {
+  if (nodes.empty() || num_leaves == 0 || num_leaves > nodes.size())
+    throw std::invalid_argument("GuideTree::from_nodes: bad shape");
+  if (root < 0 || static_cast<std::size_t>(root) >= nodes.size())
+    throw std::invalid_argument("GuideTree::from_nodes: bad root");
+  const auto n = static_cast<int>(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& node = nodes[i];
+    if (node.left >= n || node.right >= n || node.parent >= n)
+      throw std::invalid_argument("GuideTree::from_nodes: bad child index");
+    const bool leaf = node.left < 0;
+    if (leaf != (i < num_leaves) || (leaf && node.leaf_index < 0))
+      throw std::invalid_argument("GuideTree::from_nodes: bad leaf layout");
+  }
+  GuideTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.num_leaves_ = num_leaves;
+  tree.root_ = root;
+  return tree;
+}
+
 GuideTree GuideTree::neighbor_joining(
     const util::SymmetricMatrix<double>& distances) {
   check_input(distances);

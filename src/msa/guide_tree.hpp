@@ -36,6 +36,12 @@ class GuideTree {
   static GuideTree neighbor_joining(
       const util::SymmetricMatrix<double>& distances);
 
+  /// Reassembles a tree from its node array (the msa_serialize codec's
+  /// counterpart of node()/num_leaves()/root()). Throws std::invalid_argument
+  /// on inconsistent shape.
+  static GuideTree from_nodes(std::vector<TreeNode> nodes,
+                              std::size_t num_leaves, int root);
+
   [[nodiscard]] std::size_t num_leaves() const { return num_leaves_; }
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] int root() const { return root_; }

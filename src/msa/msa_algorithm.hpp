@@ -6,6 +6,7 @@
 
 #include "bio/sequence.hpp"
 #include "msa/alignment.hpp"
+#include "util/stable_hash.hpp"
 
 namespace salign::msa {
 
@@ -27,6 +28,15 @@ class MsaAlgorithm {
       std::span<const bio::Sequence> seqs) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Folds everything that determines this aligner's output for a given
+  /// input — algorithm, parameters, scoring matrix — into `h`. Checkpoint
+  /// and cache keys derive from it, so two configurations that could produce
+  /// different alignments must hash differently. Worker-thread counts never
+  /// change output and must never be folded in. The default covers aligners
+  /// whose name() already encodes their full configuration; aligners with
+  /// free parameters (MuscleAligner) override it.
+  virtual void hash_config(util::StableHash& h) const { h.str(name()); }
 };
 
 /// The default sequential aligner used by the pipeline (MiniMuscle with the

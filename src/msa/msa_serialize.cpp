@@ -1,0 +1,57 @@
+#include "msa/msa_serialize.hpp"
+
+namespace salign::msa {
+
+void write_distance_matrix(par::ByteWriter& w,
+                           const util::SymmetricMatrix<double>& m) {
+  const std::size_t n = m.size();
+  w.u64(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) w.f64(m(i, j));
+}
+
+util::SymmetricMatrix<double> read_distance_matrix(par::ByteReader& r) {
+  const std::size_t n = r.u64();
+  util::SymmetricMatrix<double> m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) m(i, j) = r.f64();
+  return m;
+}
+
+void write_guide_tree(par::ByteWriter& w, const GuideTree& t) {
+  w.u64(t.num_nodes());
+  w.u64(t.num_leaves());
+  w.u32(static_cast<std::uint32_t>(t.root()));
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    const TreeNode& n = t.node(i);
+    w.u32(static_cast<std::uint32_t>(n.left));
+    w.u32(static_cast<std::uint32_t>(n.right));
+    w.u32(static_cast<std::uint32_t>(n.parent));
+    w.f64(n.left_length);
+    w.f64(n.right_length);
+    w.f64(n.height);
+    w.u32(static_cast<std::uint32_t>(n.leaf_index));
+  }
+}
+
+GuideTree read_guide_tree(par::ByteReader& r) {
+  const std::size_t num_nodes = r.u64();
+  const std::size_t num_leaves = r.u64();
+  const auto root = static_cast<int>(r.u32());
+  std::vector<TreeNode> nodes;
+  nodes.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    TreeNode n;
+    n.left = static_cast<int>(r.u32());
+    n.right = static_cast<int>(r.u32());
+    n.parent = static_cast<int>(r.u32());
+    n.left_length = r.f64();
+    n.right_length = r.f64();
+    n.height = r.f64();
+    n.leaf_index = static_cast<int>(r.u32());
+    nodes.push_back(n);
+  }
+  return GuideTree::from_nodes(std::move(nodes), num_leaves, root);
+}
+
+}  // namespace salign::msa

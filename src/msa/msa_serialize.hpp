@@ -1,0 +1,23 @@
+#pragma once
+
+#include "msa/guide_tree.hpp"
+#include "par/serialize.hpp"
+#include "util/matrix.hpp"
+
+namespace salign::msa {
+
+/// Stable binary codecs for the sequential aligners' intermediate artifacts
+/// (distance matrices, guide trees), shared by the process-wide artifact
+/// cache and the checkpoint layer. Like the par:: codecs, a round trip is
+/// bit-exact: decode(encode(x)) reproduces x field by field, which is what
+/// lets cache hits substitute for recomputation without changing output.
+
+void write_distance_matrix(par::ByteWriter& w,
+                           const util::SymmetricMatrix<double>& m);
+[[nodiscard]] util::SymmetricMatrix<double> read_distance_matrix(
+    par::ByteReader& r);
+
+void write_guide_tree(par::ByteWriter& w, const GuideTree& t);
+[[nodiscard]] GuideTree read_guide_tree(par::ByteReader& r);
+
+}  // namespace salign::msa

@@ -4,10 +4,14 @@
 #include <unordered_map>
 
 #include "align/distance.hpp"
+#include "bio/content_hash.hpp"
 #include "kmer/kmer_rank.hpp"
 #include "msa/guide_tree.hpp"
+#include "msa/msa_serialize.hpp"
 #include "msa/progressive.hpp"
 #include "msa/refinement.hpp"
+#include "par/serialize.hpp"
+#include "util/artifact_cache.hpp"
 
 namespace salign::msa {
 
@@ -63,6 +67,45 @@ std::vector<std::size_t> identity_rows(std::size_t n) {
   return v;
 }
 
+/// Artifact-cache plumbing of one aligner run: phase keys derive from the
+/// run's base digest (aligner config + matrix + input set), so intermediate
+/// artifacts of runs over the same bucket are shared process-wide while runs
+/// that could differ in any output-relevant way never collide.
+struct PhaseCache {
+  bool enabled = false;
+  util::Digest128 base{};
+  util::ArtifactCache* cache = nullptr;
+
+  [[nodiscard]] util::Digest128 key(std::string_view tag) const {
+    util::StableHash h;
+    h.u64(base.hi);
+    h.u64(base.lo);
+    h.str(tag);
+    return h.digest128();
+  }
+
+  /// Serves `tag` from the cache (decoding with `read`) or computes, encodes
+  /// with `write` and stores. Cache hits decode the exact bytes a cold run
+  /// stored, so both paths yield bit-identical values.
+  template <typename Compute, typename Write, typename Read>
+  auto get(AlignerPhaseStats* stats, const char* tag, Compute&& compute,
+           Write&& write, Read&& read) const -> decltype(compute()) {
+    ScopedPhase phase(stats, tag);
+    if (!enabled) return compute();
+    const util::Digest128 k = key(tag);
+    if (const util::ArtifactCache::Blob blob = cache->get(k)) {
+      phase.hit();
+      par::ByteReader r{std::span<const std::uint8_t>(*blob)};
+      return read(r);
+    }
+    auto value = compute();
+    par::ByteWriter w;
+    write(w, value);
+    cache->put(k, w.take());
+    return value;
+  }
+};
+
 }  // namespace
 
 MuscleAligner::MuscleAligner(MuscleOptions options,
@@ -77,6 +120,16 @@ std::string MuscleAligner::name() const {
   return n;
 }
 
+void MuscleAligner::hash_config(util::StableHash& h) const {
+  h.str("salign.muscle.v1");
+  h.u8(static_cast<std::uint8_t>(options_.stage1_distance));
+  h.u32(static_cast<std::uint32_t>(options_.kmer.k));
+  h.u8(options_.kmer.compressed ? 1 : 0);
+  h.u8(options_.reestimate_tree ? 1 : 0);
+  h.u32(static_cast<std::uint32_t>(options_.refine_passes));
+  bio::hash_matrix(h, *matrix_);
+}
+
 Alignment MuscleAligner::align(std::span<const bio::Sequence> seqs) const {
   if (seqs.empty()) throw std::invalid_argument("MuscleAligner: no sequences");
   if (seqs.size() == 1) return Alignment::from_sequence(seqs[0]);
@@ -88,38 +141,67 @@ Alignment MuscleAligner::align(std::span<const bio::Sequence> seqs) const {
         throw std::invalid_argument("MuscleAligner: duplicate id " + s.id());
   }
 
+  PhaseCache pc;
+  pc.enabled = options_.use_artifact_cache;
+  if (pc.enabled) {
+    util::StableHash h;
+    hash_config(h);
+    const util::Digest128 in = bio::sequence_set_hash(seqs);
+    h.u64(in.hi);
+    h.u64(in.lo);
+    pc.base = h.digest128();
+    pc.cache = &util::ArtifactCache::process_cache();
+  }
+  AlignerPhaseStats* ps = options_.phase_stats;
+
   // Stage 1: k-mer (or engine score) distances -> UPGMA -> progressive.
-  const util::SymmetricMatrix<double> kd = [&] {
-    if (options_.stage1_distance == MuscleOptions::GuideTree::kScore) {
-      align::ScoreDistanceOptions sdo;
-      sdo.threads = options_.threads;
-      return align::score_distance_matrix(seqs, *matrix_,
-                                          matrix_->default_gaps(), sdo);
-    }
-    return kmer::distance_matrix(seqs, options_.kmer);
-  }();
-  GuideTree tree = GuideTree::upgma(kd);
+  const util::SymmetricMatrix<double> kd = pc.get(
+      ps, "stage1 distance matrix",
+      [&] {
+        if (options_.stage1_distance == MuscleOptions::GuideTree::kScore) {
+          align::ScoreDistanceOptions sdo;
+          sdo.threads = options_.threads;
+          return align::score_distance_matrix(seqs, *matrix_,
+                                              matrix_->default_gaps(), sdo);
+        }
+        return kmer::distance_matrix(seqs, options_.kmer);
+      },
+      write_distance_matrix, read_distance_matrix);
+  GuideTree tree =
+      pc.get(ps, "stage1 guide tree", [&] { return GuideTree::upgma(kd); },
+             write_guide_tree, read_guide_tree);
   ProgressiveOptions po;
   po.gaps = matrix_->default_gaps();
   po.weights = tree.leaf_weights();
   po.threads = options_.threads;
-  Alignment aln = progressive_align(seqs, tree, *matrix_, po);
+  Alignment aln = [&] {
+    ScopedPhase phase(ps, "stage1 progressive");
+    return progressive_align(seqs, tree, *matrix_, po);
+  }();
 
   // Stage 2: Kimura distances from the stage-1 alignment, rebuilt tree,
   // re-aligned.
   if (options_.reestimate_tree) {
     aln = reorder_to_input(aln, seqs);
-    const util::SymmetricMatrix<double> kim =
-        induced_kimura_distances(aln, options_.threads);
-    tree = GuideTree::upgma(kim);
+    const util::SymmetricMatrix<double> kim = pc.get(
+        ps, "stage2 distance matrix",
+        [&] { return induced_kimura_distances(aln, options_.threads); },
+        write_distance_matrix, read_distance_matrix);
+    tree =
+        pc.get(ps, "stage2 guide tree", [&] { return GuideTree::upgma(kim); },
+               write_guide_tree, read_guide_tree);
     po.weights = tree.leaf_weights();
-    aln = progressive_align(seqs, tree, *matrix_, po);
+    {
+      ScopedPhase phase(ps, "stage2 progressive");
+      aln = progressive_align(seqs, tree, *matrix_, po);
+    }
   }
 
   aln = reorder_to_input(aln, seqs);
 
   // Stage 3: optional refinement (rows are in input order == leaf order).
   if (options_.refine_passes > 0) {
+    ScopedPhase phase(ps, "refine");
     RefineOptions ro;
     ro.passes = options_.refine_passes;
     ro.gaps = matrix_->default_gaps();

@@ -3,6 +3,7 @@
 #include "bio/substitution_matrix.hpp"
 #include "kmer/kmer_profile.hpp"
 #include "msa/msa_algorithm.hpp"
+#include "msa/phase_stats.hpp"
 
 namespace salign::msa {
 
@@ -35,6 +36,16 @@ struct MuscleOptions {
   /// and both progressive merge schedules. Any value produces bit-identical
   /// alignments.
   unsigned threads = 1;
+  /// Serve/store per-phase artifacts (distance matrices, guide trees, both
+  /// progressive alignments) through util::ArtifactCache::process_cache(),
+  /// keyed by the content hash of (options, matrix, input sequences). Off by
+  /// default: repeated-alignment workloads opt in (`salign align --cache`).
+  /// Hits decode through the same codecs a cold run's artifacts were encoded
+  /// with, so cached and fresh runs are bit-identical.
+  bool use_artifact_cache = false;
+  /// Optional per-phase wall-time / cache-hit recorder (not owned; must
+  /// outlive the aligner). Never affects output.
+  AlignerPhaseStats* phase_stats = nullptr;
 };
 
 /// "MiniMuscle": a from-scratch reimplementation of the MUSCLE pipeline
@@ -59,6 +70,12 @@ class MuscleAligner final : public MsaAlgorithm {
       std::span<const bio::Sequence> seqs) const override;
 
   [[nodiscard]] std::string name() const override;
+
+  /// Full output-determining identity: algorithm tag, stage-1 mode, k-mer
+  /// params, stage-2/3 switches and the scoring matrix. threads,
+  /// use_artifact_cache and phase_stats are excluded — they never change
+  /// output.
+  void hash_config(util::StableHash& h) const override;
 
   [[nodiscard]] const MuscleOptions& options() const { return options_; }
 

@@ -1,0 +1,34 @@
+#include "msa/phase_stats.hpp"
+
+namespace salign::msa {
+
+void AlignerPhaseStats::record(std::string_view name, double wall_seconds,
+                               bool cache_hit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Phase& p : phases_) {
+    if (p.name == name) {
+      p.wall_seconds += wall_seconds;
+      ++p.runs;
+      if (cache_hit) ++p.cache_hits;
+      return;
+    }
+  }
+  Phase p;
+  p.name = std::string(name);
+  p.wall_seconds = wall_seconds;
+  p.runs = 1;
+  p.cache_hits = cache_hit ? 1 : 0;
+  phases_.push_back(std::move(p));
+}
+
+std::vector<AlignerPhaseStats::Phase> AlignerPhaseStats::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
+}
+
+void AlignerPhaseStats::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+}  // namespace salign::msa

@@ -1,0 +1,111 @@
+#include "util/artifact_cache.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace salign::util {
+
+ArtifactCache::ArtifactCache(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+ArtifactCache::Blob ArtifactCache::get(const Digest128& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  stats_.hit_bytes += it->second->blob->size();
+  return it->second->blob;
+}
+
+ArtifactCache::Blob ArtifactCache::put(const Digest128& key,
+                                       std::vector<std::uint8_t> bytes) {
+  return put(key,
+             std::make_shared<const std::vector<std::uint8_t>>(
+                 std::move(bytes)));
+}
+
+ArtifactCache::Blob ArtifactCache::put(const Digest128& key, Blob blob) {
+  if (!blob) return blob;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (blob->size() > capacity_bytes_) return blob;  // never cacheable
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    stored_bytes_ -= it->second->blob->size();
+    it->second->blob = blob;
+    stored_bytes_ += blob->size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, blob});
+    index_.emplace(key, lru_.begin());
+    stored_bytes_ += blob->size();
+    ++stats_.insertions;
+  }
+  evict_to_fit_locked();
+  return blob;
+}
+
+void ArtifactCache::evict_to_fit_locked() {
+  while (stored_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stored_bytes_ -= victim.blob->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ArtifactCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stored_bytes_ = 0;
+}
+
+void ArtifactCache::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void ArtifactCache::set_capacity(std::uint64_t capacity_bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = capacity_bytes;
+  evict_to_fit_locked();
+}
+
+std::uint64_t ArtifactCache::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return capacity_bytes_;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.stored_bytes = stored_bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+ArtifactCache& ArtifactCache::process_cache() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+std::string cache_summary(const ArtifactCache::Stats& s,
+                          std::uint64_t capacity_bytes) {
+  const auto kib = [](std::uint64_t b) {
+    return fmt("%.1f", static_cast<double>(b) / 1024.0);
+  };
+  std::ostringstream os;
+  os << "artifact cache: " << s.hits << " hits / " << s.misses << " misses ("
+     << kib(s.hit_bytes) << " KiB served), resident " << s.entries
+     << " entries / " << kib(s.stored_bytes) << " KiB of "
+     << kib(capacity_bytes) << " KiB";
+  return os.str();
+}
+
+}  // namespace salign::util

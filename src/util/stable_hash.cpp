@@ -1,0 +1,133 @@
+#include "util/stable_hash.hpp"
+
+#include <algorithm>
+
+namespace salign::util {
+
+namespace {
+
+constexpr std::uint64_t kMulA = 0x87C37B91114253D5ULL;
+constexpr std::uint64_t kMulB = 0x4CF5AD432745937FULL;
+
+constexpr std::uint64_t rotl(std::uint64_t v, int s) {
+  return (v << s) | (v >> (64 - s));
+}
+
+/// splitmix64-style avalanche finalizer.
+constexpr std::uint64_t fmix(std::uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xFF51AFD7ED558CCDULL;
+  v ^= v >> 33;
+  v *= 0xC4CEB9FE1A85EC53ULL;
+  v ^= v >> 33;
+  return v;
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int byte = i % 8;
+    const auto b =
+        static_cast<std::uint8_t>(word >> (8 * (7 - byte)));
+    out[static_cast<std::size_t>(2 * i)] = kHexDigits[b >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = kHexDigits[b & 0xF];
+  }
+  return out;
+}
+
+bool Digest128::parse(std::string_view text, Digest128& out) {
+  if (text.size() != 32) return false;
+  Digest128 d;
+  for (int i = 0; i < 32; ++i) {
+    const int v = hex_value(text[static_cast<std::size_t>(i)]);
+    if (v < 0) return false;
+    std::uint64_t& word = i < 16 ? d.hi : d.lo;
+    word = (word << 4) | static_cast<std::uint64_t>(v);
+  }
+  out = d;
+  return true;
+}
+
+void StableHash::mix_block(const std::uint8_t* block) {
+  const std::uint64_t w0 = load_le64(block);
+  const std::uint64_t w1 = load_le64(block + 8);
+  a_ = rotl(a_ ^ (rotl(w0 * kMulA, 31) * kMulB), 27) * 5 + 0x52DCE729;
+  b_ = rotl(b_ ^ (rotl(w1 * kMulB, 33) * kMulA), 31) * 5 + 0x38495AB5;
+}
+
+void StableHash::update(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  length_ += n;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(n, sizeof buf_ - buffered_);
+    std::memcpy(buf_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == sizeof buf_) {
+      mix_block(buf_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= sizeof buf_) {
+    mix_block(p);
+    p += sizeof buf_;
+    n -= sizeof buf_;
+  }
+  if (n > 0) {
+    std::memcpy(buf_, p, n);
+    buffered_ = n;
+  }
+}
+
+Digest128 StableHash::digest128() const {
+  // Finalize on a copy: pad the tail with a 0x80 marker + zeros so streams
+  // that differ only by trailing zero bytes cannot collide via padding, then
+  // fold in the total length and cross-mix the lanes (murmur3-128 style).
+  StableHash tail(*this);
+  const std::uint8_t marker = 0x80;
+  tail.update(&marker, 1);
+  while (tail.buffered_ != 0) {
+    const std::uint8_t zero = 0;
+    tail.update(&zero, 1);
+  }
+  std::uint64_t h1 = tail.a_ ^ length_;
+  std::uint64_t h2 = tail.b_ ^ (length_ * kMulA);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix(h1);
+  h2 = fmix(h2);
+  h1 += h2;
+  h2 += h1;
+  return Digest128{h1, h2};
+}
+
+Digest128 stable_hash128(std::span<const std::uint8_t> bytes) {
+  StableHash h;
+  h.update(bytes);
+  return h.digest128();
+}
+
+std::uint64_t stable_hash64(std::span<const std::uint8_t> bytes) {
+  return stable_hash128(bytes).hi;
+}
+
+}  // namespace salign::util

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/stage/artifacts.hpp"
+#include "core/stage/stage.hpp"
+#include "msa/guide_tree.hpp"
+#include "msa/msa_serialize.hpp"
+#include "par/serialize.hpp"
+#include "util/artifact_cache.hpp"
+#include "util/stable_hash.hpp"
+
+namespace salign {
+namespace {
+
+using core::stage::RankedPartition;
+using core::stage::RankedRef;
+using util::ArtifactCache;
+using util::Digest128;
+using util::StableHash;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// ---- util::StableHash ------------------------------------------------------
+
+// Pinned digests: an accidental algorithm change silently invalidates every
+// on-disk checkpoint and cache key, so it must fail loudly here instead.
+TEST(StableHash, PinnedDigests) {
+  EXPECT_EQ(util::stable_hash128({}).hex(), "e85c1e5d33461bece737fb23aa98cdaf");
+  const auto abc = bytes_of("abc");
+  EXPECT_EQ(util::stable_hash128(abc).hex(), "ec8b62875d15f3cbbd4c5f1c295db233");
+  const auto sixteen = bytes_of("0123456789abcdef");  // exactly one block
+  EXPECT_EQ(util::stable_hash128(sixteen).hex(),
+            "41a81f38159fd35210ec3347a80c291d");
+  StableHash typed;
+  typed.str("salign");
+  typed.u8(7);
+  typed.u32(0xDEADBEEF);
+  typed.u64(0x0123456789ABCDEFULL);
+  typed.f64(-1.5);
+  EXPECT_EQ(typed.digest128().hex(), "d7cacfb8e28f158c598ae4bb9be7303b");
+}
+
+TEST(StableHash, ChunkingDoesNotChangeDigest) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  const Digest128 oneshot = util::stable_hash128(data);
+  for (std::size_t cut = 0; cut <= data.size(); cut += 7) {
+    StableHash h;
+    h.update(std::span(data).subspan(0, cut));
+    h.update(std::span(data).subspan(cut));
+    EXPECT_EQ(h.digest128(), oneshot) << "cut at " << cut;
+  }
+}
+
+TEST(StableHash, SeedAndContentChangeDigest) {
+  const auto data = bytes_of("payload");
+  StableHash a;
+  a.update(std::span(data));
+  StableHash b(42);
+  b.update(std::span(data));
+  EXPECT_NE(a.digest128(), b.digest128());
+  const auto data2 = bytes_of("payloae");
+  EXPECT_NE(util::stable_hash128(data), util::stable_hash128(data2));
+}
+
+TEST(StableHash, DigestIsFinalizationNotMutation) {
+  StableHash h;
+  h.str("first");
+  const Digest128 d1 = h.digest128();
+  EXPECT_EQ(d1, h.digest128());  // repeated finalize is stable
+  h.str("second");
+  EXPECT_NE(d1, h.digest128());  // state keeps streaming
+}
+
+TEST(Digest128, HexRoundTrip) {
+  const Digest128 d{0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
+  EXPECT_EQ(d.hex(), "0123456789abcdeffedcba9876543210");
+  Digest128 back;
+  ASSERT_TRUE(Digest128::parse(d.hex(), back));
+  EXPECT_EQ(back, d);
+  EXPECT_FALSE(Digest128::parse("too-short", back));
+  EXPECT_FALSE(Digest128::parse("zz23456789abcdeffedcba9876543210", back));
+}
+
+// ---- util::ArtifactCache ---------------------------------------------------
+
+Digest128 key(std::uint64_t i) { return Digest128{i, ~i}; }
+
+TEST(ArtifactCache, HitMissAndStats) {
+  ArtifactCache cache(1024);
+  EXPECT_EQ(cache.get(key(1)), nullptr);
+  cache.put(key(1), bytes_of("hello"));
+  const ArtifactCache::Blob blob = cache.get(key(1));
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(*blob, bytes_of("hello"));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.stored_bytes, 5u);
+  EXPECT_EQ(s.hit_bytes, 5u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed) {
+  ArtifactCache cache(10);
+  cache.put(key(1), bytes_of("aaaa"));
+  cache.put(key(2), bytes_of("bbbb"));
+  ASSERT_NE(cache.get(key(1)), nullptr);  // 1 is now most recent
+  cache.put(key(3), bytes_of("cccc"));    // must evict 2
+  EXPECT_NE(cache.get(key(1)), nullptr);
+  EXPECT_EQ(cache.get(key(2)), nullptr);
+  EXPECT_NE(cache.get(key(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ArtifactCache, OversizedBlobsAreNotCached) {
+  ArtifactCache cache(4);
+  cache.put(key(1), bytes_of("too large to fit"));
+  EXPECT_EQ(cache.get(key(1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ArtifactCache, SetCapacityEvictsImmediately) {
+  ArtifactCache cache(64);
+  cache.put(key(1), bytes_of("aaaaaaaa"));
+  cache.put(key(2), bytes_of("bbbbbbbb"));
+  cache.set_capacity(8);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(cache.get(key(1)), nullptr);  // older entry went first
+  EXPECT_NE(cache.get(key(2)), nullptr);
+}
+
+// ---- stage artifact codecs -------------------------------------------------
+
+template <typename T, typename Write, typename Read>
+T round_trip(const T& value, Write&& write, Read&& read) {
+  par::ByteWriter w;
+  write(w, value);
+  par::ByteReader r{w.take()};
+  T back = read(r);
+  EXPECT_TRUE(r.done());
+  return back;
+}
+
+TEST(StageArtifacts, RankedPartitionRoundTrip) {
+  const RankedPartition parts{
+      {RankedRef{0, 0.25}, RankedRef{7, -1.5}}, {}, {RankedRef{3, 0.0}}};
+  EXPECT_EQ(round_trip(parts, core::stage::write_ranked_partition,
+                       core::stage::read_ranked_partition),
+            parts);
+}
+
+TEST(StageArtifacts, IndexAndDoubleRoundTrips) {
+  const std::vector<std::vector<std::uint64_t>> lists{{1, 2, 3}, {}, {9}};
+  EXPECT_EQ(round_trip(lists, core::stage::write_index_lists,
+                       core::stage::read_index_lists),
+            lists);
+  const std::vector<double> doubles{0.0, -1.5, 3.25e10};
+  EXPECT_EQ(round_trip(doubles, core::stage::write_doubles,
+                       core::stage::read_doubles),
+            doubles);
+}
+
+TEST(StageArtifacts, AlignmentsRoundTrip) {
+  const msa::Alignment aln = msa::Alignment::from_sequence(
+      bio::Sequence("seq0", "ACDEF"));
+  const std::vector<msa::Alignment> alns{aln, msa::Alignment{}};
+  const auto back =
+      round_trip(alns,
+                 [](par::ByteWriter& w, const std::vector<msa::Alignment>& a) {
+                   core::stage::write_alignments(w, a);
+                 },
+                 core::stage::read_alignments);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].num_rows(), 1u);
+  EXPECT_EQ(back[0].row(0).id, "seq0");
+  EXPECT_EQ(back[0].row(0).cells, aln.row(0).cells);
+  EXPECT_TRUE(back[1].empty());
+}
+
+TEST(StageArtifacts, PathsRoundTrip) {
+  using align::EditOp;
+  const std::vector<std::vector<EditOp>> paths{
+      {EditOp::Match, EditOp::GapInA, EditOp::GapInB}, {}};
+  EXPECT_EQ(
+      round_trip(paths, core::stage::write_paths, core::stage::read_paths),
+      paths);
+}
+
+// ---- msa serialization (distance matrix, guide tree) -----------------------
+
+TEST(MsaSerialize, DistanceMatrixRoundTrip) {
+  util::SymmetricMatrix<double> m(3);
+  m(0, 0) = 0.0;
+  m(1, 0) = 0.5;
+  m(1, 1) = 0.0;
+  m(2, 0) = 1.25;
+  m(2, 1) = -0.75;
+  m(2, 2) = 0.0;
+  const auto back =
+      round_trip(m, msa::write_distance_matrix, msa::read_distance_matrix);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j <= i; ++j) EXPECT_EQ(back(i, j), m(i, j));
+}
+
+TEST(MsaSerialize, GuideTreeRoundTrip) {
+  util::SymmetricMatrix<double> d(4);
+  d(1, 0) = 0.2;
+  d(2, 0) = 0.6;
+  d(2, 1) = 0.6;
+  d(3, 0) = 0.9;
+  d(3, 1) = 0.9;
+  d(3, 2) = 0.4;
+  const msa::GuideTree tree = msa::GuideTree::upgma(d);
+  const msa::GuideTree back =
+      round_trip(tree, msa::write_guide_tree, msa::read_guide_tree);
+  ASSERT_EQ(back.num_nodes(), tree.num_nodes());
+  EXPECT_EQ(back.num_leaves(), tree.num_leaves());
+  EXPECT_EQ(back.root(), tree.root());
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    const msa::TreeNode &a = tree.node(i), &b = back.node(i);
+    EXPECT_EQ(a.left, b.left);
+    EXPECT_EQ(a.right, b.right);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.left_length, b.left_length);
+    EXPECT_EQ(a.right_length, b.right_length);
+    EXPECT_EQ(a.height, b.height);
+    EXPECT_EQ(a.leaf_index, b.leaf_index);
+  }
+  EXPECT_EQ(back.postorder(), tree.postorder());
+}
+
+TEST(GuideTreeFromNodes, RejectsInconsistentShapes) {
+  using msa::GuideTree;
+  using msa::TreeNode;
+  EXPECT_THROW((void)GuideTree::from_nodes({}, 0, 0), std::invalid_argument);
+  // A leaf in the internal region.
+  std::vector<TreeNode> nodes(3);
+  nodes[0].leaf_index = 0;
+  nodes[1].leaf_index = 1;
+  nodes[2].left = 0;
+  nodes[2].right = 1;
+  EXPECT_THROW((void)GuideTree::from_nodes(nodes, 3, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)GuideTree::from_nodes(nodes, 2, 5),
+               std::invalid_argument);
+  // The consistent shape assembles fine.
+  const GuideTree t = GuideTree::from_nodes(nodes, 2, 2);
+  EXPECT_EQ(t.num_leaves(), 2u);
+  EXPECT_EQ(t.root(), 2);
+}
+
+// ---- checkpoint manifest ---------------------------------------------------
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("salign_stage_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ManifestTest, StoreThenResumeRoundTrip) {
+  const Digest128 pipeline{1234, 5678};
+  core::stage::CheckpointOptions opts;
+  opts.dir = dir_;
+  {
+    core::stage::StageContext ctx(opts, pipeline);
+    core::stage::StageRunner runner(ctx);
+    const int v = runner.run(
+        "alpha", 2, [] { return 41; },
+        [](par::ByteWriter& w, int x) { w.u32(static_cast<std::uint32_t>(x)); },
+        [](par::ByteReader& r) { return static_cast<int>(r.u32()); });
+    EXPECT_EQ(v, 41);
+    EXPECT_EQ(runner.resumed_stages(), 0u);
+  }
+  const core::stage::Manifest m = core::stage::read_manifest(dir_);
+  EXPECT_EQ(m.format_version, core::stage::kCheckpointFormatVersion);
+  EXPECT_EQ(m.pipeline_hash, pipeline);
+  ASSERT_EQ(m.records.size(), 1u);
+  EXPECT_EQ(m.records[0].name, "alpha");
+  EXPECT_EQ(m.records[0].paper_step, 2);
+  par::Bytes payload;
+  EXPECT_TRUE(core::stage::read_artifact(dir_, m.records[0], payload));
+  EXPECT_EQ(payload.size(), 4u);
+
+  opts.resume = true;
+  core::stage::StageContext ctx(opts, pipeline);
+  core::stage::StageRunner runner(ctx);
+  const int v = runner.run(
+      "alpha", 2, []() -> int { throw std::logic_error("must not recompute"); },
+      [](par::ByteWriter& w, int x) { w.u32(static_cast<std::uint32_t>(x)); },
+      [](par::ByteReader& r) { return static_cast<int>(r.u32()); });
+  EXPECT_EQ(v, 41);
+  EXPECT_EQ(runner.resumed_stages(), 1u);
+}
+
+TEST_F(ManifestTest, MismatchedPipelineHashIsIgnored) {
+  core::stage::CheckpointOptions opts;
+  opts.dir = dir_;
+  {
+    core::stage::StageContext ctx(opts, Digest128{1, 1});
+    core::stage::StageRunner runner(ctx);
+    (void)runner.run(
+        "alpha", 2, [] { return 1; },
+        [](par::ByteWriter& w, int x) { w.u32(static_cast<std::uint32_t>(x)); },
+        [](par::ByteReader& r) { return static_cast<int>(r.u32()); });
+  }
+  // A different pipeline identity (e.g. changed config) must recompute.
+  opts.resume = true;
+  core::stage::StageContext ctx(opts, Digest128{2, 2});
+  core::stage::StageRunner runner(ctx);
+  const int v = runner.run(
+      "alpha", 2, [] { return 7; },
+      [](par::ByteWriter& w, int x) { w.u32(static_cast<std::uint32_t>(x)); },
+      [](par::ByteReader& r) { return static_cast<int>(r.u32()); });
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(runner.resumed_stages(), 0u);
+}
+
+TEST_F(ManifestTest, CorruptArtifactFailsVerificationAndRecomputes) {
+  core::stage::CheckpointOptions opts;
+  opts.dir = dir_;
+  {
+    core::stage::StageContext ctx(opts, Digest128{3, 3});
+    core::stage::StageRunner runner(ctx);
+    (void)runner.run(
+        "alpha", 2, [] { return 41; },
+        [](par::ByteWriter& w, int x) { w.u32(static_cast<std::uint32_t>(x)); },
+        [](par::ByteReader& r) { return static_cast<int>(r.u32()); });
+  }
+  const core::stage::Manifest before = core::stage::read_manifest(dir_);
+  ASSERT_EQ(before.records.size(), 1u);
+  {
+    // Flip a payload byte on disk.
+    const std::string path = dir_ + "/" + before.records[0].file;
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  par::Bytes payload;
+  EXPECT_FALSE(core::stage::read_artifact(dir_, before.records[0], payload));
+
+  opts.resume = true;
+  core::stage::StageContext ctx(opts, Digest128{3, 3});
+  core::stage::StageRunner runner(ctx);
+  const int v = runner.run(
+      "alpha", 2, [] { return 9; },
+      [](par::ByteWriter& w, int x) { w.u32(static_cast<std::uint32_t>(x)); },
+      [](par::ByteReader& r) { return static_cast<int>(r.u32()); });
+  EXPECT_EQ(v, 9);  // recomputed, not resumed from the corrupt artifact
+  EXPECT_EQ(runner.resumed_stages(), 0u);
+}
+
+TEST_F(ManifestTest, FailAfterThrowsStageAbortAfterDurableWrite) {
+  core::stage::CheckpointOptions opts;
+  opts.dir = dir_;
+  opts.fail_after = 0;
+  core::stage::StageContext ctx(opts, Digest128{4, 4});
+  core::stage::StageRunner runner(ctx);
+  EXPECT_THROW(
+      (void)runner.run(
+          "alpha", 2, [] { return 1; },
+          [](par::ByteWriter& w, int x) {
+            w.u32(static_cast<std::uint32_t>(x));
+          },
+          [](par::ByteReader& r) { return static_cast<int>(r.u32()); }),
+      core::stage::StageAbort);
+  // The artifact it aborted after is durably on disk.
+  const core::stage::Manifest m = core::stage::read_manifest(dir_);
+  ASSERT_EQ(m.records.size(), 1u);
+  par::Bytes payload;
+  EXPECT_TRUE(core::stage::read_artifact(dir_, m.records[0], payload));
+}
+
+TEST(ManifestErrors, MissingDirectoryThrows) {
+  EXPECT_THROW((void)core::stage::read_manifest("/nonexistent/salign-xyz"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace salign
