@@ -1,0 +1,115 @@
+# CTest script: fault-matrix smoke through the salign CLI binary, driven
+# entirely by the SALIGN_FAULTS environment variable (no rebuild, no test
+# hooks — exactly what an operator would do to drill a failure).
+#   1. generate a synthetic family and take a clean reference alignment,
+#   2. kill a checkpointed run with an injected hard fault at a stage
+#      boundary (checkpoint.write from the 2nd write on) — expect the
+#      documented runtime exit code 1,
+#   3. `salign stages --verify` the surviving checkpoint prefix,
+#   4. --resume with faults disarmed and byte-diff against the reference,
+#   5. same drill with a wall-clock deadline — expect exit code 4,
+#   6. a malformed fault spec must be a usage error (exit 2).
+# Invoked as:
+#   cmake -DSALIGN_CLI=<path> -DWORK_DIR=<dir> -P fault_smoke.cmake
+# Every run's stderr is kept in WORK_DIR (fault_*.log) for CI upload.
+
+if(NOT SALIGN_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "fault_smoke: SALIGN_CLI and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(in_fasta "${WORK_DIR}/family.fasta")
+set(ref_fasta "${WORK_DIR}/reference.fasta")
+
+execute_process(
+  COMMAND "${SALIGN_CLI}" generate --kind rose --out "${in_fasta}"
+          --n 20 --length 50 --seed 23
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "salign generate failed (${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${SALIGN_CLI}" align --in "${in_fasta}" --out "${ref_fasta}"
+          --procs 4
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference align failed (${rc}):\n${out}\n${err}")
+endif()
+
+# Drill one scenario: run `align` under `spec`, require `want_rc`, then
+# stages --verify + disarmed --resume must reproduce the reference bytes.
+function(drill name spec want_rc extra_flag)
+  set(ckpt "${WORK_DIR}/ckpt_${name}")
+  set(out_fasta "${WORK_DIR}/out_${name}.fasta")
+  set(cmd "${SALIGN_CLI}" align --in "${in_fasta}" --out "${out_fasta}"
+          --procs 4 --checkpoint-dir "${ckpt}")
+  if(extra_flag)
+    list(APPEND cmd ${extra_flag})
+  endif()
+  if(spec)
+    set(launcher ${CMAKE_COMMAND} -E env "SALIGN_FAULTS=${spec}")
+  else()
+    set(launcher ${CMAKE_COMMAND} -E env --unset=SALIGN_FAULTS)
+  endif()
+  execute_process(
+    COMMAND ${launcher} ${cmd}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  file(WRITE "${WORK_DIR}/fault_${name}.log" "exit: ${rc}\n${out}\n${err}")
+  if(NOT rc EQUAL ${want_rc})
+    message(FATAL_ERROR
+      "${name}: expected exit ${want_rc}, got ${rc}:\n${err}")
+  endif()
+
+  execute_process(
+    COMMAND "${SALIGN_CLI}" stages --dir "${ckpt}" --verify
+    RESULT_VARIABLE rc OUTPUT_VARIABLE stages_out ERROR_VARIABLE err)
+  file(APPEND "${WORK_DIR}/fault_${name}.log"
+       "\n--- stages --verify (exit ${rc}) ---\n${stages_out}${err}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${name}: interrupted checkpoint failed verification:\n"
+      "${stages_out}\n${err}")
+  endif()
+
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=SALIGN_FAULTS
+            "${SALIGN_CLI}" align --in "${in_fasta}" --out "${out_fasta}"
+            --procs 4 --checkpoint-dir "${ckpt}" --resume
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  file(APPEND "${WORK_DIR}/fault_${name}.log"
+       "\n--- resume (exit ${rc}) ---\n${out}${err}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${name}: resume failed (${rc}):\n${err}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${ref_fasta}" "${out_fasta}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${name}: resumed output differs from the clean reference")
+  endif()
+  message(STATUS "fault_smoke: ${name} -> exit ${want_rc}, verify clean, "
+                 "resume bit-identical")
+endfunction()
+
+# Hard injected fault at a stage boundary: the 2nd checkpoint write and every
+# later one fails even after retries.
+drill(write_fault "checkpoint.write:2:*!" 1 "")
+
+# Wall-clock deadline: cooperative stop with its own exit code.
+drill(deadline "" 4 "--deadline=0.000001")
+
+# A malformed spec must be rejected before any work starts (usage error).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "SALIGN_FAULTS=not-a-spec"
+          "${SALIGN_CLI}" align --in "${in_fasta}" --procs 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+file(WRITE "${WORK_DIR}/fault_badspec.log" "exit: ${rc}\n${out}\n${err}")
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "malformed SALIGN_FAULTS: expected exit 2, got ${rc}")
+endif()
+
+message(STATUS "fault_smoke: all scenarios passed")

@@ -1,65 +1,91 @@
 #include "bio/fasta.hpp"
 
-#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+#include <unordered_set>
 
+#include "util/io.hpp"
 #include "util/string_util.hpp"
 
 namespace salign::bio {
 
 namespace {
 
-void finish_record(std::vector<Sequence>& out, std::string& id,
-                   std::string& residues, AlphabetKind kind, bool have_record) {
-  if (!have_record) return;
-  if (id.empty()) throw std::runtime_error("FASTA: record with empty id");
-  out.emplace_back(std::move(id), residues, kind);
-  id.clear();
-  residues.clear();
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw InvalidInput("FASTA line " + std::to_string(line) + ": " + msg);
 }
 
 }  // namespace
 
 std::vector<Sequence> read_fasta(std::istream& in, AlphabetKind kind) {
   std::vector<Sequence> out;
+  std::unordered_set<std::string> ids;
   std::string line;
   std::string id;
   std::string residues;
   bool have_record = false;
+  std::size_t lineno = 0;    // 1-based physical line
+  std::size_t record_line = 0;  // header line of the open record
+
+  const auto finish_record = [&] {
+    if (!have_record) return;
+    try {
+      out.emplace_back(std::move(id), residues, kind);
+    } catch (const std::exception& e) {
+      fail(record_line, std::string("record rejected: ") + e.what());
+    }
+    id.clear();
+    residues.clear();
+  };
 
   while (std::getline(in, line)) {
+    ++lineno;
+    // NUL and control bytes are never legitimate FASTA; catching them here
+    // (instead of silently encoding them as wildcard residues) turns a
+    // corrupted/binary input into a precise diagnostic. Tab survives for
+    // header fields, CR for CRLF files (trim strips it).
+    for (char c : line)
+      if (c == '\0' ||
+          (static_cast<unsigned char>(c) < 0x20 && c != '\t' && c != '\r'))
+        fail(lineno, "NUL/control byte in input");
     const std::string_view t = util::trim(line);
     if (t.empty()) continue;
     if (t.front() == '>') {
-      finish_record(out, id, residues, kind, have_record);
+      finish_record();
       have_record = true;
+      record_line = lineno;
       const std::string_view header = util::trim(t.substr(1));
       const std::size_t sp = header.find_first_of(" \t");
       id = std::string(sp == std::string_view::npos ? header
                                                     : header.substr(0, sp));
+      if (id.empty()) fail(lineno, "record with empty id");
+      if (!ids.insert(id).second)
+        fail(lineno, "duplicate record id '" + id + "'");
     } else {
-      if (!have_record)
-        throw std::runtime_error("FASTA: residue data before first header");
+      if (!have_record) fail(lineno, "residue data before first header");
       for (char c : t) {
         if (c == '-' || c == '.')
-          throw std::runtime_error(
-              "FASTA: gap character in unaligned input (record '" + id + "')");
+          fail(lineno,
+               "gap character in unaligned input (record '" + id + "')");
         residues.push_back(c);
       }
     }
   }
-  finish_record(out, id, residues, kind, have_record);
+  finish_record();
   return out;
 }
 
 std::vector<Sequence> read_fasta_file(const std::string& path,
                                       AlphabetKind kind) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
-  return read_fasta(in, kind);
+  const std::string text = util::retry_io(
+      "fasta.read", [&] { return util::read_file(path, "fasta.read"); });
+  try {
+    std::istringstream in(text);
+    return read_fasta(in, kind);
+  } catch (const InvalidInput& e) {
+    throw InvalidInput(path + ": " + e.what());
+  }
 }
 
 std::vector<Sequence> parse_fasta(const std::string& text, AlphabetKind kind) {
@@ -81,9 +107,14 @@ void write_fasta(std::ostream& out, std::span<const Sequence> seqs,
 
 void write_fasta_file(const std::string& path, std::span<const Sequence> seqs,
                       std::size_t width) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open FASTA file for write: " + path);
-  write_fasta(out, seqs, width);
+  std::ostringstream os;
+  write_fasta(os, seqs, width);
+  const std::string text = std::move(os).str();
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  util::retry_io("fasta.write", [&] {
+    util::write_file_durable(path, bytes, "fasta.write");
+  });
 }
 
 }  // namespace salign::bio

@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -9,15 +10,28 @@
 
 namespace salign::bio {
 
+/// Malformed user input: FASTA syntax errors, duplicate record ids,
+/// NUL/control bytes, rejected residues. Distinct from IO failure (the file
+/// was read fine; its *content* is wrong) — the CLI maps it, together with
+/// std::invalid_argument, to its own invalid-input exit code.
+class InvalidInput : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Reads all FASTA records from a stream. Header lines start with '>'; the
 /// first whitespace-separated token becomes the id. Lines are concatenated;
 /// gap characters ('-', '.') are rejected — aligned FASTA goes through
-/// msa::read_aligned_fasta instead.
+/// msa::read_aligned_fasta instead. Duplicate record ids and NUL/control
+/// bytes (tab and CR excepted) are rejected. Every rejection throws
+/// InvalidInput naming the offending 1-based line.
 [[nodiscard]] std::vector<Sequence> read_fasta(
     std::istream& in, AlphabetKind kind = AlphabetKind::AminoAcid);
 
-/// Convenience wrapper over a file path; throws std::runtime_error when the
-/// file cannot be opened.
+/// Convenience wrapper over a file path; throws util::IoError when the file
+/// cannot be read (after bounded retry of transient failures) and
+/// InvalidInput — prefixed with the path — on malformed content.
+/// Fault-injection site: "fasta.read".
 [[nodiscard]] std::vector<Sequence> read_fasta_file(
     const std::string& path, AlphabetKind kind = AlphabetKind::AminoAcid);
 
@@ -29,6 +43,8 @@ namespace salign::bio {
 void write_fasta(std::ostream& out, std::span<const Sequence> seqs,
                  std::size_t width = 60);
 
+/// Writes `path` atomically and durably (tmp + fsync + rename), retrying
+/// transient failures. Fault-injection site: "fasta.write".
 void write_fasta_file(const std::string& path, std::span<const Sequence> seqs,
                       std::size_t width = 60);
 

@@ -126,10 +126,9 @@ int run_generate(std::span<const std::string> args, std::ostream& out,
     throw UsageError("unknown kind '" + kind + "'");
   } catch (const UsageError& e) {
     err << "salign generate: " << e.what() << "\n\n" << p.usage();
-    return 2;
-  } catch (const std::exception& e) {
-    err << "salign generate: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (...) {
+    return classify_error("generate", err);
   }
 }
 

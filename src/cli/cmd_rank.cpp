@@ -80,10 +80,9 @@ int run_rank(std::span<const std::string> args, std::ostream& out,
     return 0;
   } catch (const UsageError& e) {
     err << "salign rank: " << e.what() << "\n\n" << p.usage();
-    return 2;
-  } catch (const std::exception& e) {
-    err << "salign rank: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (...) {
+    return classify_error("rank", err);
   }
 }
 

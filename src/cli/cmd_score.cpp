@@ -70,10 +70,9 @@ int run_score(std::span<const std::string> args, std::ostream& out,
     return 0;
   } catch (const UsageError& e) {
     err << "salign score: " << e.what() << "\n\n" << p.usage();
-    return 2;
-  } catch (const std::exception& e) {
-    err << "salign score: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (...) {
+    return classify_error("score", err);
   }
 }
 

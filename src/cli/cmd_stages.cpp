@@ -20,6 +20,10 @@ ArgParser make_parser() {
   p.flag("verify",
          "re-read every artifact file and check it against the manifest\n"
          "digest; exit 1 if any is missing or corrupt");
+  p.flag("repair",
+         "quarantine corrupt artifacts (renamed to <file>.corrupt), drop\n"
+         "missing ones, and rewrite the manifest with only the verified\n"
+         "rows, so 'align --resume' recomputes exactly what was lost");
   return p;
 }
 
@@ -35,6 +39,22 @@ int run_stages(std::span<const std::string> args, std::ostream& out,
       return 0;
     }
     if (p.get("dir").empty()) throw UsageError("--dir is required");
+
+    if (p.get_flag("repair")) {
+      const core::stage::RepairReport rep =
+          core::stage::repair_checkpoint(p.get("dir"));
+      if (!rep.manifest_ok) {
+        out << "manifest unreadable; quarantined — resume will recompute "
+               "all stages\n";
+        return kExitOk;
+      }
+      out << "kept " << rep.kept.size() << ", quarantined "
+          << rep.quarantined.size() << ", dropped " << rep.dropped.size()
+          << "\n";
+      for (const auto& f : rep.quarantined) out << "  quarantined " << f << "\n";
+      for (const auto& f : rep.dropped) out << "  dropped " << f << "\n";
+      return kExitOk;
+    }
 
     const core::stage::Manifest m = core::stage::read_manifest(p.get("dir"));
     out << "checkpoint: format v" << m.format_version << ", pipeline "
@@ -72,15 +92,14 @@ int run_stages(std::span<const std::string> args, std::ostream& out,
     if (verify) {
       out << (all_ok ? "all artifacts verified\n"
                      : "verification FAILED\n");
-      return all_ok ? 0 : 1;
+      return all_ok ? kExitOk : kExitRuntime;
     }
-    return 0;
+    return kExitOk;
   } catch (const UsageError& e) {
     err << "salign stages: " << e.what() << "\n\n" << p.usage();
-    return 2;
-  } catch (const std::exception& e) {
-    err << "salign stages: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (...) {
+    return classify_error("stages", err);
   }
 }
 

@@ -72,7 +72,7 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
 
     const std::vector<bio::Sequence> seqs = bio::read_fasta_file(p.get("in"));
     if (seqs.size() < 2)
-      throw std::runtime_error("need at least 2 sequences to build a tree");
+      throw bio::InvalidInput("need at least 2 sequences to build a tree");
 
     util::SymmetricMatrix<double> d(0);
     if (dist == "kmer") {
@@ -137,10 +137,9 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
     return 0;
   } catch (const UsageError& e) {
     err << "salign tree: " << e.what() << "\n\n" << p.usage();
-    return 2;
-  } catch (const std::exception& e) {
-    err << "salign tree: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (...) {
+    return classify_error("tree", err);
   }
 }
 

@@ -1,15 +1,47 @@
 #include "cli/commands.hpp"
 
 #include <ostream>
+#include <stdexcept>
 
+#include "bio/fasta.hpp"
 #include "cli/arg_parser.hpp"
 #include "msa/clustalw_like.hpp"
 #include "msa/mafft_like.hpp"
 #include "msa/muscle_like.hpp"
 #include "msa/probcons_like.hpp"
 #include "msa/tcoffee_like.hpp"
+#include "util/budget.hpp"
 
 namespace salign::cli {
+
+int classify_error(const std::string& command, std::ostream& err) {
+  const auto report = [&](const char* what) -> std::ostream& {
+    return err << "salign " << command << ": " << what << "\n";
+  };
+  try {
+    throw;  // reclassify the in-flight exception
+  } catch (const util::DeadlineExceeded& e) {
+    report(e.what())
+        << "salign " << command
+        << ": checkpoint (if any) is valid; rerun with --resume\n";
+    return kExitDeadline;
+  } catch (const util::CancelledError& e) {
+    report(e.what());
+    return kExitDeadline;
+  } catch (const bio::InvalidInput& e) {
+    report(e.what());
+    return kExitInvalidInput;
+  } catch (const std::invalid_argument& e) {
+    report(e.what());
+    return kExitInvalidInput;
+  } catch (const std::exception& e) {
+    report(e.what());
+    return kExitRuntime;
+  } catch (...) {
+    report("unknown error");
+    return kExitRuntime;
+  }
+}
 
 std::shared_ptr<const msa::MsaAlgorithm> make_aligner(
     const std::string& name, unsigned threads) {
@@ -83,7 +115,7 @@ int dispatch(std::span<const std::string> args, std::ostream& out,
   if (cmd == "stages") return run_stages(rest, out, err);
   err << "salign: unknown command '" << cmd << "'\n\n";
   print_help(err);
-  return 2;
+  return kExitUsage;
 }
 
 }  // namespace salign::cli

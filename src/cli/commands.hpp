@@ -9,12 +9,38 @@
 
 namespace salign::cli {
 
+/// Exit-code taxonomy shared by every command. Scripts and the fault-matrix
+/// harness branch on these, so they are part of the CLI contract:
+///
+///   0  success
+///   1  runtime/IO failure — missing file, exhausted retries, corrupt
+///      checkpoint the pipeline could not recover from, internal error
+///   2  usage error — bad flags or arguments (usage text printed)
+///   3  invalid input — the file was read fine but its *content* is
+///      malformed (FASTA syntax, duplicate ids, control bytes, bad values)
+///   4  deadline exceeded or cancelled — the run stopped cooperatively at a
+///      stage/chunk boundary; any --checkpoint-dir it was writing is valid
+///      and `--resume` completes the alignment bit-identically
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitRuntime = 1,
+  kExitUsage = 2,
+  kExitInvalidInput = 3,
+  kExitDeadline = 4,
+};
+
+/// Maps the in-flight exception to the taxonomy above, printing
+/// "salign <command>: <what>" to `err`. Call from a catch-all handler
+/// (it rethrows internally); UsageError must be caught before it, where
+/// the command's usage text is available.
+[[nodiscard]] int classify_error(const std::string& command,
+                                 std::ostream& err);
+
 /// The `salign` command-line tool, exposed as callable functions so the
 /// test suite drives every command in-process (no fork/exec). Each command
 /// takes its argument list (program and command names stripped), writes
 /// results to `out` and diagnostics to `err`, and returns the process exit
-/// status: 0 success, 1 runtime failure (bad file, bad data), 2 usage
-/// error.
+/// status from the taxonomy below.
 ///
 /// Commands:
 ///   align     align a FASTA file with Sample-Align-D or a sequential

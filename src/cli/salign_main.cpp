@@ -1,14 +1,24 @@
 // Entry point of the `salign` command-line tool. All logic lives in
 // cli::dispatch / cli::run_* so the test suite can exercise every command
-// in-process; this file only adapts argv.
+// in-process; this file only adapts argv and arms the fault injector from
+// the environment (SALIGN_FAULTS / SALIGN_FAULT_SEED — the fault-matrix CI
+// smoke activates injection sites without rebuilding).
 
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/commands.hpp"
+#include "util/fault_injection.hpp"
 
 int main(int argc, char** argv) {
+  try {
+    salign::util::FaultInjector::instance().arm_from_env();
+  } catch (const std::exception& e) {
+    std::cerr << "salign: SALIGN_FAULTS: " << e.what() << "\n";
+    return salign::cli::kExitUsage;
+  }
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);

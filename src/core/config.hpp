@@ -9,6 +9,7 @@
 #include "msa/msa_algorithm.hpp"
 #include "msa/phase_stats.hpp"
 #include "msa/polish.hpp"
+#include "util/budget.hpp"
 
 namespace salign::core {
 
@@ -94,6 +95,23 @@ struct SampleAlignDConfig {
   /// must outlive the runs). Null = the pipeline allocates its own when it
   /// builds the default aligner, and reports it through PipelineStats.
   msa::AlignerPhaseStats* phase_stats = nullptr;
+
+  /// Resource limits of a run (`--deadline` / `--max-memory`; 0 = none).
+  /// The deadline is polled cooperatively at stage, chunk and merge
+  /// boundaries: when it passes, the run stops at the next boundary with
+  /// util::DeadlineExceeded, leaving a valid checkpoint `--resume` finishes
+  /// bit-identically. A memory bound degrades gracefully instead of
+  /// aborting: it shrinks the default aligner's full-traceback cell budget
+  /// so large merges take the (output-identical) checkpointed-traceback
+  /// path. Neither limit ever changes the alignment, so neither is part of
+  /// the pipeline hash.
+  util::BudgetLimits budget{};
+
+  /// Optional cooperative cancellation token, polled at the same
+  /// boundaries as the deadline (a cancel raises util::CancelledError with
+  /// the same valid-checkpoint guarantee). The serve daemon's job-eviction
+  /// hook.
+  std::shared_ptr<util::CancelToken> cancel;
 };
 
 }  // namespace salign::core

@@ -102,6 +102,8 @@ std::string PipelineStats::summary() const {
     os << ph.to_string();
   }
   if (!cache_note.empty()) os << cache_note << '\n';
+  for (const std::string& note : quarantine_notes)
+    os << "checkpoint: " << note << '\n';
   const align::engine::Backend backend = align::engine::default_backend();
   os << "alignment engine: " << align::engine::backend_name(backend) << " ("
      << align::engine::backend_lanes(backend) << " lanes)\n";

@@ -96,6 +96,10 @@ struct PipelineStats {
   std::vector<AlignerPhaseSummary> aligner_phases;
   /// One-line process-wide artifact-cache report ("" when caching is off).
   std::string cache_note;
+  /// Checkpoint-robustness notes: artifacts/manifests quarantined (renamed
+  /// to `*.corrupt` and recomputed) or otherwise ignored during this run.
+  /// Empty on a healthy run.
+  std::vector<std::string> quarantine_notes;
 
   [[nodiscard]] std::uint64_t total_bytes() const;
   [[nodiscard]] double total_compute_seconds() const;

@@ -313,6 +313,13 @@ SampleAlignD::SampleAlignD(SampleAlignDConfig config)
     o.use_artifact_cache = config_.use_artifact_cache;
     o.phase_stats = config_.phase_stats != nullptr ? config_.phase_stats
                                                    : owned_phase_stats_.get();
+    // Graceful memory degradation: a --max-memory bound shrinks the
+    // full-traceback budget (~3 bytes/cell of trace) so big merges switch
+    // to the output-identical checkpointed-traceback path instead of the
+    // process dying on an allocation. Not hashed — it never changes output.
+    o.max_trace_cells = util::clamp_trace_cells(
+        msa::detail::kDefaultProfileTraceCells,
+        config_.budget.max_memory_bytes, 3);
     config_.local_aligner = std::make_shared<msa::MuscleAligner>(o);
   }
 }
@@ -382,6 +389,11 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
     }
   }
 
+  // Deadline clock starts here; the budget is visible process-wide so
+  // parallel_for chunks and guide-tree merges poll it without plumbing.
+  util::Budget budget(config_.budget, config_.cancel);
+  util::ScopedBudget scoped_budget(&budget);
+
   stage::StageContext ctx(config_.checkpoint, pipeline_hash(seqs));
   stage::StageRunner runner(ctx);
 
@@ -412,6 +424,7 @@ msa::Alignment SampleAlignD::align(std::span<const bio::Sequence> seqs,
       const auto& cache = util::ArtifactCache::process_cache();
       st.cache_note = util::cache_summary(cache.stats(), cache.capacity());
     }
+    st.quarantine_notes = ctx.quarantine_notes();
   };
 
   // p == 1: the pipeline degenerates to the sequential aligner (no

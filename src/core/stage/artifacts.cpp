@@ -14,9 +14,9 @@ void write_ranked_partition(par::ByteWriter& w, const RankedPartition& parts) {
 }
 
 RankedPartition read_ranked_partition(par::ByteReader& r) {
-  RankedPartition parts(r.u32());
+  RankedPartition parts(r.count(4));  // count(): corrupt sizes throw, never OOM
   for (auto& part : parts) {
-    part.resize(r.u32());
+    part.resize(r.count(16));  // 16 bytes per RankedRef
     for (RankedRef& ref : part) {
       ref.index = r.u64();
       ref.rank = r.f64();
@@ -32,7 +32,7 @@ void write_index_lists(par::ByteWriter& w,
 }
 
 std::vector<std::vector<std::uint64_t>> read_index_lists(par::ByteReader& r) {
-  std::vector<std::vector<std::uint64_t>> lists(r.u32());
+  std::vector<std::vector<std::uint64_t>> lists(r.count(4));
   for (auto& list : lists) list = read_indices(r);
   return lists;
 }
@@ -43,7 +43,7 @@ void write_indices(par::ByteWriter& w, const std::vector<std::uint64_t>& v) {
 }
 
 std::vector<std::uint64_t> read_indices(par::ByteReader& r) {
-  std::vector<std::uint64_t> v(r.u32());
+  std::vector<std::uint64_t> v(r.count(8));
   for (std::uint64_t& x : v) x = r.u64();
   return v;
 }
@@ -54,7 +54,7 @@ void write_doubles(par::ByteWriter& w, const std::vector<double>& v) {
 }
 
 std::vector<double> read_doubles(par::ByteReader& r) {
-  std::vector<double> v(r.u32());
+  std::vector<double> v(r.count(8));
   for (double& x : v) x = r.f64();
   return v;
 }
@@ -66,7 +66,7 @@ void write_alignments(par::ByteWriter& w,
 }
 
 std::vector<msa::Alignment> read_alignments(par::ByteReader& r) {
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(5);  // kind + row count per alignment
   std::vector<msa::Alignment> alns;
   alns.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i)
@@ -84,9 +84,9 @@ void write_paths(par::ByteWriter& w,
 }
 
 std::vector<std::vector<align::EditOp>> read_paths(par::ByteReader& r) {
-  std::vector<std::vector<align::EditOp>> paths(r.u32());
+  std::vector<std::vector<align::EditOp>> paths(r.count(4));
   for (auto& path : paths) {
-    const std::uint32_t n = r.u32();
+    const std::uint32_t n = r.count(1);
     path.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)
       path.push_back(static_cast<align::EditOp>(r.u8()));

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <system_error>
 
+#include "util/fault_injection.hpp"
+#include "util/io.hpp"
 #include "util/string_util.hpp"
 
 namespace salign::core::stage {
@@ -19,18 +21,39 @@ std::string manifest_path(const std::string& dir) {
   return (fs::path(dir) / kManifestName).string();
 }
 
-/// tmp+rename so a kill mid-write can never leave a half-written file under
-/// the final name (the unit of durability the resume tests rely on).
-void write_file_atomic(const fs::path& target, std::span<const std::uint8_t> bytes) {
-  const fs::path tmp = target.string() + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw std::runtime_error("checkpoint: cannot write " + tmp.string());
-    f.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-    if (!f) throw std::runtime_error("checkpoint: short write " + tmp.string());
+/// Serializes + durably writes a manifest (fsync-before-rename, transient
+/// failures retried). Shared by the per-stage flush and --repair.
+void write_manifest(const std::string& dir, const util::Digest128& hash,
+                    const std::vector<ArtifactRecord>& records) {
+  std::string text;
+  text += kManifestMagic;
+  text += '\t';
+  text += std::to_string(kCheckpointFormatVersion);
+  text += '\t';
+  text += hash.hex();
+  text += '\n';
+  for (const ArtifactRecord& rec : records) {
+    text += std::to_string(rec.index);
+    text += '\t';
+    text += rec.name;
+    text += '\t';
+    text += std::to_string(rec.paper_step);
+    text += '\t';
+    text += rec.chain.hex();
+    text += '\t';
+    text += rec.payload.hex();
+    text += '\t';
+    text += std::to_string(rec.bytes);
+    text += '\t';
+    text += rec.file;
+    text += '\n';
   }
-  fs::rename(tmp, target);
+  const fs::path target(manifest_path(dir));
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  util::retry_io("manifest.store", [&] {
+    util::write_file_durable(target, bytes, "manifest.store");
+  });
 }
 
 }  // namespace
@@ -56,29 +79,55 @@ void StageRunner::advance_chain(std::string_view name, int paper_step) {
 StageContext::StageContext(CheckpointOptions options,
                            util::Digest128 pipeline_hash)
     : options_(std::move(options)), pipeline_hash_(pipeline_hash) {
-  if (!options_.resume || options_.dir.empty()) return;
-  try {
-    Manifest m = read_manifest(options_.dir);
-    // A checkpoint written by a different binary version, configuration or
-    // input is silently ignored: every stage recomputes and the manifest is
-    // rewritten — resume is an optimization, never a correctness input.
-    if (m.format_version == kCheckpointFormatVersion &&
-        m.pipeline_hash == pipeline_hash_)
-      previous_ = std::move(m.records);
-  } catch (const std::exception&) {
-    // Missing/corrupt manifest: nothing to resume from.
+  if (!checkpointing()) return;
+  fs::create_directories(options_.dir);
+  if (options_.resume && fs::exists(manifest_path(options_.dir))) {
+    try {
+      Manifest m = util::retry_io(
+          "manifest.load", [&] { return read_manifest(options_.dir); });
+      // A checkpoint written by a different binary version, configuration or
+      // input cannot be resumed: every stage recomputes and the manifest is
+      // rewritten — resume is an optimization, never a correctness input.
+      if (m.format_version == kCheckpointFormatVersion &&
+          m.pipeline_hash == pipeline_hash_) {
+        previous_ = std::move(m.records);
+        // Leave the existing manifest untouched until the first keep/store
+        // rewrites it — flushing the (empty) rebuilt manifest here would
+        // destroy the resume information a crash right now should preserve.
+        return;
+      }
+      quarantine_notes_.push_back(
+          "checkpoint ignored: pipeline identity mismatch in '" +
+          options_.dir + "' (recomputing all stages)");
+    } catch (const std::exception& e) {
+      // Corrupt manifest: set it aside so the operator can inspect it,
+      // instead of silently overwriting the evidence.
+      quarantine_file(kManifestName, e.what());
+    }
   }
+  // Fresh (or unusable) checkpoint: flush the empty manifest now so the
+  // directory is `stages --verify`-clean from the first instant — a run
+  // killed before its first stage still leaves a valid checkpoint.
+  flush_manifest();
 }
 
-std::optional<par::Bytes> StageContext::load(
-    const util::Digest128& chain) const {
+std::optional<par::Bytes> StageContext::load(const util::Digest128& chain) {
   for (const ArtifactRecord& rec : previous_) {
     if (rec.chain != chain) continue;
     try {
       par::Bytes payload;
-      if (read_artifact(options_.dir, rec, payload)) return payload;
-    } catch (const std::exception&) {
-      // fall through: recompute
+      const bool ok = util::retry_io("checkpoint.read", [&] {
+        return read_artifact(options_.dir, rec, payload);
+      });
+      if (ok) return payload;
+      quarantine_file(rec.file,
+                      "stage '" + rec.name + "': payload digest mismatch");
+    } catch (const std::exception& e) {
+      if (fs::exists(fs::path(options_.dir) / rec.file))
+        quarantine_file(rec.file, "stage '" + rec.name + "': " + e.what());
+      else
+        quarantine_notes_.push_back("stage '" + rec.name +
+                                    "': artifact missing (recomputing)");
     }
     return std::nullopt;
   }
@@ -88,8 +137,10 @@ std::optional<par::Bytes> StageContext::load(
 void StageContext::store(const StageArtifact& artifact) {
   if (!checkpointing()) return;
   fs::create_directories(options_.dir);
-  write_file_atomic(fs::path(options_.dir) / artifact.record.file,
-                    artifact.payload);
+  const fs::path target = fs::path(options_.dir) / artifact.record.file;
+  util::retry_io("checkpoint.write", [&] {
+    util::write_file_durable(target, artifact.payload, "checkpoint.write");
+  });
   current_.push_back(artifact.record);
   flush_manifest();
   const int written = stored_count_++;
@@ -105,36 +156,21 @@ void StageContext::keep(const ArtifactRecord& record) {
 }
 
 void StageContext::flush_manifest() const {
-  std::string text;
-  text += kManifestMagic;
-  text += '\t';
-  text += std::to_string(kCheckpointFormatVersion);
-  text += '\t';
-  text += pipeline_hash_.hex();
-  text += '\n';
-  for (const ArtifactRecord& rec : current_) {
-    text += std::to_string(rec.index);
-    text += '\t';
-    text += rec.name;
-    text += '\t';
-    text += std::to_string(rec.paper_step);
-    text += '\t';
-    text += rec.chain.hex();
-    text += '\t';
-    text += rec.payload.hex();
-    text += '\t';
-    text += std::to_string(rec.bytes);
-    text += '\t';
-    text += rec.file;
-    text += '\n';
-  }
-  write_file_atomic(
-      fs::path(manifest_path(options_.dir)),
-      std::span<const std::uint8_t>(
-          reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  write_manifest(options_.dir, pipeline_hash_, current_);
+}
+
+void StageContext::quarantine_file(const std::string& file,
+                                   const std::string& reason) {
+  const fs::path path = fs::path(options_.dir) / file;
+  std::error_code ec;
+  fs::rename(path, fs::path(path.string() + ".corrupt"), ec);
+  quarantine_notes_.push_back(
+      "quarantined " + file + " -> " + file + ".corrupt: " + reason +
+      (ec ? " (rename failed: " + ec.message() + ")" : ""));
 }
 
 Manifest read_manifest(const std::string& dir) {
+  util::FaultInjector::instance().maybe_fail("manifest.load");
   std::ifstream f(manifest_path(dir));
   if (!f)
     throw std::runtime_error("checkpoint: no manifest in '" + dir + "'");
@@ -147,7 +183,11 @@ Manifest read_manifest(const std::string& dir) {
     if (head.size() != 3 || head[0] != kManifestMagic ||
         !util::Digest128::parse(head[2], m.pipeline_hash))
       throw std::runtime_error("checkpoint: malformed manifest header");
-    m.format_version = static_cast<std::uint32_t>(std::stoul(head[1]));
+    try {
+      m.format_version = static_cast<std::uint32_t>(std::stoul(head[1]));
+    } catch (const std::exception&) {
+      throw std::runtime_error("checkpoint: malformed manifest header");
+    }
   }
   while (std::getline(f, line)) {
     if (line.empty()) continue;
@@ -155,13 +195,20 @@ Manifest read_manifest(const std::string& dir) {
     if (cols.size() != 7)
       throw std::runtime_error("checkpoint: malformed manifest row");
     ArtifactRecord rec;
-    rec.index = std::stoi(cols[0]);
+    // A bit-flipped numeric column must read as "malformed manifest", not
+    // surface std::stoi's invalid_argument (which the CLI maps to the
+    // invalid-*input* exit code).
+    try {
+      rec.index = std::stoi(cols[0]);
+      rec.paper_step = std::stoi(cols[2]);
+      rec.bytes = std::stoull(cols[5]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("checkpoint: malformed manifest row");
+    }
     rec.name = cols[1];
-    rec.paper_step = std::stoi(cols[2]);
     if (!util::Digest128::parse(cols[3], rec.chain) ||
         !util::Digest128::parse(cols[4], rec.payload))
       throw std::runtime_error("checkpoint: malformed manifest digest");
-    rec.bytes = std::stoull(cols[5]);
     rec.file = cols[6];
     m.records.push_back(std::move(rec));
   }
@@ -170,6 +217,7 @@ Manifest read_manifest(const std::string& dir) {
 
 bool read_artifact(const std::string& dir, const ArtifactRecord& rec,
                    par::Bytes& payload) {
+  util::FaultInjector::instance().maybe_fail("checkpoint.read");
   const fs::path path = fs::path(dir) / rec.file;
   std::ifstream f(path, std::ios::binary);
   if (!f)
@@ -182,6 +230,40 @@ bool read_artifact(const std::string& dir, const ArtifactRecord& rec,
     return false;
   }
   return true;
+}
+
+RepairReport repair_checkpoint(const std::string& dir) {
+  RepairReport report;
+  Manifest m;
+  try {
+    m = read_manifest(dir);
+  } catch (const std::exception& e) {
+    // Unreadable manifest: set it aside; with no trustworthy rows there is
+    // nothing to keep, and the next checkpointed run starts clean.
+    std::error_code ec;
+    fs::rename(fs::path(manifest_path(dir)),
+               fs::path(manifest_path(dir) + ".corrupt"), ec);
+    report.quarantined.push_back(std::string(kManifestName) + ": " + e.what());
+    return report;
+  }
+  report.manifest_ok = true;
+  for (const ArtifactRecord& rec : m.records) {
+    par::Bytes payload;
+    try {
+      if (read_artifact(dir, rec, payload)) {
+        report.kept.push_back(rec);
+        continue;
+      }
+      std::error_code ec;
+      fs::rename(fs::path(dir) / rec.file,
+                 fs::path(dir) / (rec.file + ".corrupt"), ec);
+      report.quarantined.push_back(rec.file + ": payload digest mismatch");
+    } catch (const std::exception& e) {
+      report.dropped.push_back(rec.file + ": " + e.what());
+    }
+  }
+  write_manifest(dir, m.pipeline_hash, report.kept);
+  return report;
 }
 
 }  // namespace salign::core::stage

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "par/serialize.hpp"
+#include "util/budget.hpp"
 #include "util/stable_hash.hpp"
 #include "util/timer.hpp"
 
@@ -82,12 +83,14 @@ class StageContext {
   [[nodiscard]] bool checkpointing() const { return !options_.dir.empty(); }
 
   /// Serialized payload for (chain) if resuming and a digest-verified
-  /// artifact exists; nullopt otherwise (compute it).
-  [[nodiscard]] std::optional<par::Bytes> load(
-      const util::Digest128& chain) const;
+  /// artifact exists; nullopt otherwise (compute it). Corrupt payloads are
+  /// quarantined (renamed to `<file>.corrupt`, noted) rather than silently
+  /// ignored; transient read failures are retried with backoff first.
+  [[nodiscard]] std::optional<par::Bytes> load(const util::Digest128& chain);
 
-  /// Durably writes `artifact` (payload file, then manifest rewrite via
-  /// tmp+rename) and honors the fail_after hook. No-op when not
+  /// Durably writes `artifact` (payload file fsynced before rename, then
+  /// manifest rewrite the same way), riding out transient IO failures with
+  /// bounded retry, and honors the fail_after hook. No-op when not
   /// checkpointing.
   void store(const StageArtifact& artifact);
 
@@ -95,8 +98,15 @@ class StageContext {
   /// payload file is already on disk and verified).
   void keep(const ArtifactRecord& record);
 
+  /// Human-readable notes on quarantined/ignored checkpoint state this run
+  /// (surfaced through PipelineStats and --stats).
+  [[nodiscard]] const std::vector<std::string>& quarantine_notes() const {
+    return quarantine_notes_;
+  }
+
  private:
   void flush_manifest() const;
+  void quarantine_file(const std::string& file, const std::string& reason);
 
   CheckpointOptions options_;
   util::Digest128 pipeline_hash_;
@@ -105,6 +115,7 @@ class StageContext {
   /// Rows of the manifest as this run rebuilds it, in stage order.
   std::vector<ArtifactRecord> current_;
   int stored_count_ = 0;
+  std::vector<std::string> quarantine_notes_;
 };
 
 /// Sequential driver of the typed stage graph: each run() call is one named
@@ -140,6 +151,11 @@ class StageRunner {
       records_.push_back(rec);
       return value;
     }
+    // Deadline/cancel lands here, between stages: loads above stay allowed
+    // (they are cheap and only improve the checkpoint), computes do not.
+    // The manifest written so far is valid, so --resume picks up exactly
+    // where this throw stopped the run.
+    util::poll_budget(name);
     auto value = compute();
     par::ByteWriter w;
     write(w, value);
@@ -194,5 +210,20 @@ struct Manifest {
 /// mismatch.
 bool read_artifact(const std::string& dir, const ArtifactRecord& rec,
                    par::Bytes& payload);
+
+/// Outcome of repair_checkpoint(): what survived, what was set aside.
+struct RepairReport {
+  bool manifest_ok = false;           ///< manifest parsed (else quarantined)
+  std::vector<ArtifactRecord> kept;   ///< rows whose payload verified
+  std::vector<std::string> quarantined;  ///< "<file>: <reason>" set aside
+  std::vector<std::string> dropped;   ///< rows removed (artifact missing)
+};
+
+/// `salign stages --repair`: verifies every artifact in `dir` against the
+/// manifest, renames corrupt files to `<file>.corrupt`, drops rows whose
+/// payload is missing or bad, and rewrites a manifest containing only the
+/// rows that verify — leaving a directory `--verify` is clean on and
+/// `--resume` can safely consume (dropped stages simply recompute).
+RepairReport repair_checkpoint(const std::string& dir);
 
 }  // namespace salign::core::stage

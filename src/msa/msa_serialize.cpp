@@ -11,8 +11,15 @@ void write_distance_matrix(par::ByteWriter& w,
 }
 
 util::SymmetricMatrix<double> read_distance_matrix(par::ByteReader& r) {
-  const std::size_t n = r.u64();
-  util::SymmetricMatrix<double> m(n);
+  const std::uint64_t n = r.u64();
+  // The matrix holds n(n+1)/2 doubles; validate the *triangular* size
+  // against the bytes actually present so a bit-flipped n throws a clean
+  // underrun instead of asking the allocator for gigabytes. (count() can't
+  // express the quadratic growth, hence the explicit check.)
+  if (n > (std::uint64_t{1} << 31) ||
+      n * (n + 1) / 2 > r.remaining() / sizeof(double))
+    throw std::runtime_error("ByteReader: payload underrun");
+  util::SymmetricMatrix<double> m(static_cast<std::size_t>(n));
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j <= i; ++j) m(i, j) = r.f64();
   return m;
@@ -35,7 +42,7 @@ void write_guide_tree(par::ByteWriter& w, const GuideTree& t) {
 }
 
 GuideTree read_guide_tree(par::ByteReader& r) {
-  const std::size_t num_nodes = r.u64();
+  const std::size_t num_nodes = r.count64(40);  // serialized TreeNode bytes
   const std::size_t num_leaves = r.u64();
   const auto root = static_cast<int>(r.u32());
   std::vector<TreeNode> nodes;

@@ -87,21 +87,37 @@ struct PhaseCache {
   /// Serves `tag` from the cache (decoding with `read`) or computes, encodes
   /// with `write` and stores. Cache hits decode the exact bytes a cold run
   /// stored, so both paths yield bit-identical values.
+  ///
+  /// The cache is an optimization, never a correctness input, so every
+  /// cache failure degrades instead of propagating: a lookup failure (or a
+  /// blob that won't decode) is a miss and the phase recomputes; an insert
+  /// failure just means the value isn't shared. Only compute() errors
+  /// escape. The fault-matrix tests drive this via the cache.lookup /
+  /// cache.insert injection sites.
   template <typename Compute, typename Write, typename Read>
   auto get(AlignerPhaseStats* stats, const char* tag, Compute&& compute,
            Write&& write, Read&& read) const -> decltype(compute()) {
     ScopedPhase phase(stats, tag);
     if (!enabled) return compute();
     const util::Digest128 k = key(tag);
-    if (const util::ArtifactCache::Blob blob = cache->get(k)) {
-      phase.hit();
-      par::ByteReader r{std::span<const std::uint8_t>(*blob)};
-      return read(r);
+    try {
+      if (const util::ArtifactCache::Blob blob = cache->get(k)) {
+        par::ByteReader r{std::span<const std::uint8_t>(*blob)};
+        auto value = read(r);
+        phase.hit();
+        return value;
+      }
+    } catch (const std::exception&) {
+      // fall through: recompute
     }
     auto value = compute();
     par::ByteWriter w;
     write(w, value);
-    cache->put(k, w.take());
+    try {
+      cache->put(k, w.take());
+    } catch (const std::exception&) {
+      // not cached this time; the computed value is still correct
+    }
     return value;
   }
 };
@@ -174,6 +190,7 @@ Alignment MuscleAligner::align(std::span<const bio::Sequence> seqs) const {
   po.gaps = matrix_->default_gaps();
   po.weights = tree.leaf_weights();
   po.threads = options_.threads;
+  po.max_trace_cells = options_.max_trace_cells;
   Alignment aln = [&] {
     ScopedPhase phase(ps, "stage1 progressive");
     return progressive_align(seqs, tree, *matrix_, po);

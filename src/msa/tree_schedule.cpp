@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/thread_pool.hpp"
 
 namespace salign::msa {
@@ -15,7 +16,10 @@ void schedule_tree(const GuideTree& tree, unsigned threads,
   const std::size_t num_nodes = tree.num_nodes();
   if (num_nodes == 0) return;
   if (threads <= 1) {
-    for (int id : tree.postorder()) node_fn(id);
+    for (int id : tree.postorder()) {
+      util::poll_budget("tree schedule node");
+      node_fn(id);
+    }
     return;
   }
 
@@ -48,6 +52,10 @@ void schedule_tree(const GuideTree& tree, unsigned threads,
       lock.unlock();
 
       try {
+        // Node boundary doubles as the cancellation boundary: on deadline
+        // or cancel no new merge starts; running merges finish, the drain
+        // below completes, and the budget exception is rethrown.
+        util::poll_budget("tree schedule node");
         node_fn(id);
       } catch (...) {
         lock.lock();

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/thread_pool.hpp"
 
 namespace salign::par {
@@ -61,6 +62,7 @@ void parallel_for(std::size_t n,
       std::min<unsigned>(threads == 0 ? 1 : threads,
                          static_cast<unsigned>(n));
   if (workers <= 1) {
+    util::poll_budget("parallel_for");
     fn(0, n);
     return;
   }
@@ -77,6 +79,10 @@ void parallel_for(std::size_t n,
       const std::size_t begin = static_cast<std::size_t>(w) * chunk;
       const std::size_t end = std::min(n, begin + chunk);
       if (begin >= end) break;
+      // Cooperative cancellation boundary: a deadline/cancel stops workers
+      // before their next chunk; the exception unwinds through the pool's
+      // rethrow path like any worker failure.
+      util::poll_budget("parallel_for chunk");
       fn(begin, end);
     }
   });

@@ -21,7 +21,8 @@ void write_sequences(ByteWriter& w, std::span<const bio::Sequence> seqs) {
 }
 
 std::vector<bio::Sequence> read_sequences(ByteReader& r) {
-  const std::uint32_t n = r.u32();
+  // count(): a corrupt length throws before the reserve below allocates.
+  const std::uint32_t n = r.count(9);  // kind + two length prefixes
   std::vector<bio::Sequence> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(read_sequence(r));
@@ -39,7 +40,7 @@ void write_alignment(ByteWriter& w, const msa::Alignment& a) {
 
 msa::Alignment read_alignment(ByteReader& r) {
   const auto kind = static_cast<bio::AlphabetKind>(r.u8());
-  const std::uint32_t rows = r.u32();
+  const std::uint32_t rows = r.count(8);  // two length prefixes per row
   std::vector<msa::AlignedRow> out(rows);
   for (std::uint32_t i = 0; i < rows; ++i) {
     out[i].id = r.str();

@@ -103,7 +103,32 @@ class ByteReader {
 
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }
 
+  /// Bytes left unread. Codec readers size their pre-allocations against
+  /// this so a bit-flipped count throws instead of allocating.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Reads an element count whose elements occupy at least
+  /// `min_bytes_each` payload bytes apiece, validating it against the bytes
+  /// actually remaining. This is the codec-hardening primitive: a corrupt
+  /// count (truncation, bit flip) becomes a clean "payload underrun" throw
+  /// rather than a multi-gigabyte vector resize the OOM killer answers.
+  std::uint64_t count64(std::uint64_t min_bytes_each) {
+    const std::uint64_t n = u64();
+    check_count(n, min_bytes_each);
+    return n;
+  }
+  std::uint32_t count(std::uint32_t min_bytes_each) {
+    const std::uint32_t n = u32();
+    check_count(n, min_bytes_each);
+    return n;
+  }
+
  private:
+  void check_count(std::uint64_t n, std::uint64_t min_bytes_each) const {
+    const std::uint64_t floor = min_bytes_each == 0 ? 1 : min_bytes_each;
+    if (n > remaining() / floor)
+      throw std::runtime_error("ByteReader: payload underrun");
+  }
   void need(std::size_t n) const {
     if (pos_ + n > data_.size())
       throw std::runtime_error("ByteReader: payload underrun");

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/fault_injection.hpp"
 #include "util/table.hpp"
 
 namespace salign::util {
@@ -10,6 +11,7 @@ ArtifactCache::ArtifactCache(std::uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
 ArtifactCache::Blob ArtifactCache::get(const Digest128& key) {
+  FaultInjector::instance().maybe_fail("cache.lookup");
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -31,6 +33,7 @@ ArtifactCache::Blob ArtifactCache::put(const Digest128& key,
 
 ArtifactCache::Blob ArtifactCache::put(const Digest128& key, Blob blob) {
   if (!blob) return blob;
+  FaultInjector::instance().maybe_fail("cache.insert");
   const std::lock_guard<std::mutex> lock(mu_);
   if (blob->size() > capacity_bytes_) return blob;  // never cacheable
   const auto it = index_.find(key);

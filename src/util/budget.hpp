@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace salign::util {
+
+/// The pipeline ran past its --deadline. Mapped to its own CLI exit code
+/// (distinct from generic failure) because the run is *not* broken: the
+/// checkpoint directory it leaves behind is valid and --resume completes
+/// the alignment bit-identically.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The run was cancelled via a CancelToken (operator stop, serve-daemon
+/// job eviction). Same recovery contract as DeadlineExceeded.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Cooperative cancellation flag, shareable across threads. request()
+/// never interrupts anything by itself — workers poll it at chunk/stage
+/// boundaries via Budget::check().
+class CancelToken {
+ public:
+  void request() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// User-facing resource limits (from --deadline / --max-memory or the
+/// config). Zero means "no limit" for both.
+struct BudgetLimits {
+  double deadline_seconds = 0.0;
+  std::uint64_t max_memory_bytes = 0;
+};
+
+/// A wall-clock deadline plus cancellation token, polled cooperatively.
+/// The deadline clock starts at construction. check()/poll() are cheap
+/// enough for per-chunk polling: one relaxed atomic load when no limit is
+/// set, one steady_clock read otherwise.
+class Budget {
+ public:
+  Budget() = default;
+  explicit Budget(BudgetLimits limits,
+                  std::shared_ptr<CancelToken> cancel = nullptr)
+      : limits_(limits),
+        cancel_(std::move(cancel)),
+        start_(std::chrono::steady_clock::now()),
+        has_deadline_(limits.deadline_seconds > 0.0) {}
+
+  /// True when the run must stop at the next boundary (deadline passed or
+  /// cancellation requested). Never throws.
+  [[nodiscard]] bool should_stop() const {
+    if (cancel_ && cancel_->requested()) return true;
+    return has_deadline_ && elapsed_seconds() >= limits_.deadline_seconds;
+  }
+
+  /// Throws DeadlineExceeded / CancelledError when the run must stop.
+  /// `where` names the boundary for the diagnostic.
+  void check(std::string_view where) const {
+    if (cancel_ && cancel_->requested())
+      throw CancelledError("cancelled at " + std::string(where));
+    if (has_deadline_ && elapsed_seconds() >= limits_.deadline_seconds)
+      throw DeadlineExceeded("deadline of " +
+                             std::to_string(limits_.deadline_seconds) +
+                             "s exceeded at " + std::string(where));
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  [[nodiscard]] const BudgetLimits& limits() const { return limits_; }
+
+ private:
+  BudgetLimits limits_;
+  std::shared_ptr<CancelToken> cancel_;
+  std::chrono::steady_clock::time_point start_{};
+  bool has_deadline_ = false;
+};
+
+/// The budget of the currently running pipeline, if any. Worker loops
+/// (par::parallel_for chunks, guide-tree merge scheduling) poll this so
+/// cancellation crosses thread-pool threads without plumbing a parameter
+/// through every call chain. Null when no budget is active — the common
+/// case, one relaxed atomic load.
+[[nodiscard]] const Budget* current_budget();
+
+/// Installs `budget` as the process-current budget for its scope.
+/// Scopes don't nest across threads — the pipeline driver owns exactly one.
+class ScopedBudget {
+ public:
+  explicit ScopedBudget(const Budget* budget);
+  ~ScopedBudget();
+  ScopedBudget(const ScopedBudget&) = delete;
+  ScopedBudget& operator=(const ScopedBudget&) = delete;
+
+ private:
+  const Budget* previous_;
+};
+
+/// Polls the current budget (if any) at a cooperative boundary; throws
+/// DeadlineExceeded/CancelledError when the run must stop.
+void poll_budget(std::string_view where);
+
+/// Memory-pressure degradation helper: clamps a DP trace-cell budget so
+/// the working set fits under `max_memory_bytes` (0 = no limit, returns
+/// `cells` unchanged). `bytes_per_cell` is the codec's per-cell cost;
+/// `reserve_fraction` is the share of the limit the traceback may claim.
+/// Shrinking a checkpointed-traceback budget changes memory and speed but
+/// never output — which is why this degrades instead of aborting.
+[[nodiscard]] std::uint64_t clamp_trace_cells(std::uint64_t cells,
+                                              std::uint64_t max_memory_bytes,
+                                              std::uint64_t bytes_per_cell,
+                                              double reserve_fraction = 0.25);
+
+}  // namespace salign::util

@@ -1,0 +1,143 @@
+#include "util/fault_injection.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace salign::util {
+
+namespace {
+
+/// splitmix64: the per-hit coin of the probabilistic mode. Deterministic in
+/// (seed, site, hit index), so a seeded run replays the same faults
+/// regardless of wall-clock — and independent of call interleaving for any
+/// site whose hits are serialized (all checkpoint/manifest sites are).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& spec) {
+  for (const std::string& raw : split(spec, ',')) {
+    std::string entry(trim(raw));
+    if (entry.empty()) continue;
+    SitePlan plan;
+    if (!entry.empty() && entry.back() == '!') {
+      plan.transient = false;
+      entry.pop_back();
+    }
+    const std::vector<std::string> parts = split(entry, ':');
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty())
+      throw std::invalid_argument("fault spec '" + raw +
+                                  "': want site:k[:n], site:k:* or site:~p");
+    try {
+      if (parts.size() == 2 && !parts[1].empty() && parts[1][0] == '~') {
+        plan.probability = std::stod(parts[1].substr(1));
+        if (plan.probability <= 0.0 || plan.probability > 1.0)
+          throw std::invalid_argument("probability out of (0, 1]");
+      } else {
+        plan.first = std::stoull(parts[1]);
+        if (parts.size() == 3)
+          plan.count = parts[2] == "*" ? kAllHits : std::stoull(parts[2]);
+        if (plan.count == 0)
+          throw std::invalid_argument("zero-hit fault window");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("fault spec '" + raw + "': malformed");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("fault spec '" + raw + "': out of range");
+    }
+    arm_site(parts[0], plan);
+  }
+}
+
+void FaultInjector::arm_site(const std::string& site, SitePlan plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.plan = plan;
+  state.armed = true;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_from_env() {
+  if (const char* seed_env = std::getenv("SALIGN_FAULT_SEED"))
+    seed(std::stoull(seed_env));
+  if (const char* spec = std::getenv("SALIGN_FAULTS")) arm(spec);
+}
+
+void FaultInjector::disarm() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::seed(std::uint64_t s) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  seed_ = s;
+}
+
+void FaultInjector::maybe_fail_slow(std::string_view site) {
+  std::uint64_t hit = 0;
+  bool fail = false;
+  bool transient = true;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    // Unarmed sites are still counted while the injector is enabled — the
+    // fault-matrix tests read the hit counts to enumerate boundaries.
+    SiteState& state =
+        it != sites_.end() ? it->second : sites_[std::string(site)];
+    hit = state.stats.hits++;
+    if (state.armed) {
+      const SitePlan& p = state.plan;
+      if (p.probability > 0.0) {
+        const std::uint64_t coin = mix64(seed_ ^ hash_site(site) ^ hit);
+        fail = static_cast<double>(coin >> 11) *
+                   (1.0 / 9007199254740992.0) <  // 2^-53
+               p.probability;
+      } else {
+        fail = hit >= p.first &&
+               (p.count == kAllHits || hit < p.first + p.count);
+      }
+      transient = p.transient;
+      if (fail) ++state.stats.failures;
+    }
+  }
+  if (fail) throw InjectedFault(std::string(site), hit, transient);
+}
+
+FaultInjector::SiteStats FaultInjector::stats(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.stats : SiteStats{};
+}
+
+std::vector<std::pair<std::string, FaultInjector::SiteStats>>
+FaultInjector::all_stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, SiteStats>> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, state] : sites_) out.emplace_back(name, state.stats);
+  return out;
+}
+
+}  // namespace salign::util

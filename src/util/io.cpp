@@ -1,0 +1,85 @@
+#include "util/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/fault_injection.hpp"
+
+namespace salign::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string errno_text(const char* op, const fs::path& path) {
+  return std::string(op) + " " + path.string() + ": " + std::strerror(errno);
+}
+
+/// RAII fd so error paths below can't leak descriptors.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void fsync_path(const fs::path& path, int open_flags) {
+  Fd f;
+  f.fd = ::open(path.c_str(), open_flags);
+  if (f.fd < 0) throw IoError(errno_text("open", path), false);
+  if (::fsync(f.fd) != 0) throw IoError(errno_text("fsync", path), true);
+}
+
+}  // namespace
+
+void write_file_durable(const fs::path& target,
+                        std::span<const std::uint8_t> bytes,
+                        std::string_view site) {
+  FaultInjector::instance().maybe_fail(site);
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    Fd f;
+    f.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (f.fd < 0) throw IoError(errno_text("open", tmp), false);
+    const std::uint8_t* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ::ssize_t n = ::write(f.fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw IoError(errno_text("write", tmp), true);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(f.fd) != 0) throw IoError(errno_text("fsync", tmp), true);
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) throw IoError("rename " + tmp.string() + ": " + ec.message(), true);
+  // Persist the rename itself: fsync the directory entry. Without this a
+  // crash can roll back to the old file even though the data blocks of the
+  // new one are on disk.
+  const fs::path dir = target.has_parent_path() ? target.parent_path()
+                                                : fs::path(".");
+  fsync_path(dir, O_RDONLY | O_DIRECTORY);
+}
+
+std::string read_file(const fs::path& path, std::string_view site) {
+  FaultInjector::instance().maybe_fail(site);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("open " + path.string() + ": cannot open file", false);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad())
+    throw IoError("read " + path.string() + ": stream failure", true);
+  return std::move(buf).str();
+}
+
+}  // namespace salign::util

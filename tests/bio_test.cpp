@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "bio/alphabet.hpp"
 #include "bio/fasta.hpp"
@@ -168,6 +171,97 @@ TEST(Fasta, WriterWrapsLines) {
 
 TEST(Fasta, MissingFileThrows) {
   EXPECT_THROW(read_fasta_file("/nonexistent/x.fa"), std::runtime_error);
+}
+
+// Every rejection below must throw InvalidInput and name the offending
+// 1-based line — the CLI shows the message verbatim, so a wrong number
+// sends the user to the wrong place in a multi-megabyte file.
+
+void expect_invalid(const std::string& text, const std::string& fragment) {
+  try {
+    (void)parse_fasta(text);
+    FAIL() << "expected InvalidInput for: " << fragment;
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(Fasta, DuplicateIdRejectedWithLineNumber) {
+  expect_invalid(">a\nACD\n>b\nEF\n>a\nGH\n", "line 5: duplicate record id 'a'");
+}
+
+TEST(Fasta, DuplicateDetectionUsesIdTokenOnly) {
+  // Same first token, different descriptions: still a duplicate.
+  expect_invalid(">a one\nACD\n>a two\nEF\n", "duplicate record id 'a'");
+  // Different tokens: fine.
+  EXPECT_EQ(parse_fasta(">a1 x\nACD\n>a2 x\nEF\n").size(), 2u);
+}
+
+TEST(Fasta, NulByteRejectedWithLineNumber) {
+  const std::string text{">a\nAC\0DE\n", 9};
+  expect_invalid(text, "line 2: NUL/control byte");
+}
+
+TEST(Fasta, ControlByteRejectedAnywhere) {
+  expect_invalid(">a\x01\nACDE\n", "line 1: NUL/control byte");
+  expect_invalid(">a\nAC\x07" "DE\n", "line 2: NUL/control byte");
+}
+
+TEST(Fasta, TabAndCarriageReturnSurvive) {
+  // CRLF files and tab-separated header fields are legitimate.
+  const auto seqs = parse_fasta(">a\tdesc\r\nACDE\r\n");
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].id(), "a");
+  EXPECT_EQ(seqs[0].text(), "ACDE");
+}
+
+TEST(Fasta, EmptyIdRejectedWithLineNumber) {
+  expect_invalid(">a\nACD\n>\nEF\n", "line 3: record with empty id");
+}
+
+TEST(Fasta, ErrorLineNumbersAreOneBasedAndPhysical) {
+  expect_invalid("\n\nACDE\n", "line 3: residue data before first header");
+  expect_invalid(">a\nAC-DE\n", "line 2: gap character");
+}
+
+TEST(Fasta, RejectedResidueNamesHeaderLine) {
+  // Sequence construction rejects embedded whitespace after trim keeps an
+  // inner tab; the error points at the record's header line.
+  expect_invalid(">a\nAC\tDE\n>b\nEF\n", "line 1: record rejected");
+}
+
+TEST(Fasta, FileErrorsArePrefixedWithPath) {
+  namespace fs = std::filesystem;
+  const fs::path p =
+      fs::temp_directory_path() / "salign_bio_fasta_dup_test.fa";
+  {
+    std::ofstream f(p);
+    f << ">a\nACD\n>a\nEF\n";
+  }
+  try {
+    (void)read_fasta_file(p.string());
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find(p.filename().string()),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  fs::remove(p);
+}
+
+TEST(Fasta, WriteFileIsDurableAndReadable) {
+  namespace fs = std::filesystem;
+  const fs::path p = fs::temp_directory_path() / "salign_bio_fasta_write.fa";
+  const auto in = parse_fasta(">a\nACDEFGHIKL\n>b\nWWWW\n");
+  write_fasta_file(p.string(), in);
+  const auto back = read_fasta_file(p.string());
+  ASSERT_EQ(back.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(back[i], in[i]);
+  EXPECT_FALSE(fs::exists(p.string() + ".tmp"));  // tmp renamed away
+  fs::remove(p);
 }
 
 // ---- SubstitutionMatrix --------------------------------------------------------

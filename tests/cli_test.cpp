@@ -529,7 +529,54 @@ TEST_F(CliTest, TreeNeedsAtLeastTwoSequences) {
   f << ">only\nMKVLAT\n";
   f.close();
   const Result r = run(argv({"tree", "--in", in}));
-  EXPECT_EQ(r.status, 1);
+  // The file is readable but its content can't make a tree: invalid input.
+  EXPECT_EQ(r.status, kExitInvalidInput);
+}
+
+// ---- exit-code taxonomy -----------------------------------------------------
+// Scripts and the fault-matrix CI smoke branch on these values; the
+// assertions below pin the contract documented in commands.hpp.
+
+TEST_F(CliTest, ExitCodeUsageErrorIs2) {
+  EXPECT_EQ(run(argv({"align", "--bogus-flag"})).status, kExitUsage);
+  EXPECT_EQ(run(argv({"align"})).status, kExitUsage);  // missing --in
+  EXPECT_EQ(run(argv({"frobnicate"})).status, kExitUsage);
+}
+
+TEST_F(CliTest, ExitCodeRuntimeFailureIs1) {
+  const Result r = run(argv({"align", "--in", path("missing.fasta")}));
+  EXPECT_EQ(r.status, kExitRuntime);
+  EXPECT_NE(r.err.find("missing.fasta"), std::string::npos);
+}
+
+TEST_F(CliTest, ExitCodeInvalidInputIs3) {
+  const std::string dup = path("dup.fasta");
+  {
+    std::ofstream f(dup);
+    f << ">a\nMKVLAT\n>a\nMKVLAT\n";
+  }
+  const Result r = run(argv({"align", "--in", dup}));
+  EXPECT_EQ(r.status, kExitInvalidInput);
+  EXPECT_NE(r.err.find("duplicate record id"), std::string::npos);
+  EXPECT_NE(r.err.find("line 3"), std::string::npos);
+}
+
+TEST_F(CliTest, ExitCodeDeadlineIs4AndStatesResume) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 8);
+  const Result r = run(argv({"align", "--in", in, "--procs", "2",
+                             "--deadline", "0.000001"}));
+  EXPECT_EQ(r.status, kExitDeadline);
+  EXPECT_NE(r.err.find("deadline"), std::string::npos);
+}
+
+TEST_F(CliTest, AlignBadMaxMemoryIsUsageError) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 4);
+  for (const char* bad : {"12q", "m", "-1", "two"}) {
+    const Result r = run(argv({"align", "--in", in, "--max-memory", bad}));
+    EXPECT_EQ(r.status, kExitUsage) << bad;
+  }
 }
 
 }  // namespace
