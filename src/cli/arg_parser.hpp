@@ -92,4 +92,19 @@ class ArgParser {
   bool help_requested_ = false;
 };
 
+/// Parses a human byte size: "512m", "1.5g", "4096k", "1048576" -> bytes.
+/// Suffixes k/m/g (case insensitive, binary multiples); a bare number is
+/// bytes. Fractional values require a suffix ("1.5g" works, "1.5" alone
+/// does not — half a byte is not a thing) and round down to whole bytes.
+/// `flag` names the option in the UsageError diagnostic ("--max-memory").
+[[nodiscard]] std::uint64_t parse_byte_size(const std::string& text,
+                                            std::string_view flag);
+
+/// Parses a human duration into seconds: "250ms", "2.5s", "90", "1.5m",
+/// "2h" -> seconds. A bare number (integer or fractional) is seconds;
+/// suffixes ms/s/m/h scale it. Negative values are rejected. `flag` names
+/// the option in the UsageError diagnostic ("--deadline").
+[[nodiscard]] double parse_duration_seconds(const std::string& text,
+                                            std::string_view flag);
+
 }  // namespace salign::cli

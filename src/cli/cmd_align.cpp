@@ -51,48 +51,18 @@ ArgParser make_parser() {
          "serve repeated per-bucket aligner work (distance matrices,\n"
          "guide trees) from the process-wide artifact cache (muscle only;\n"
          "never changes output)");
-  p.option("deadline", "sec", "0",
-           "wall-clock budget in seconds (0 = none). The pipeline stops\n"
+  p.option("deadline", "dur", "0",
+           "wall-clock budget, e.g. 30, 2.5s, 250ms, 1.5m (bare numbers are\n"
+           "seconds; 0 = none). The pipeline stops\n"
            "cooperatively at the next stage/chunk boundary, leaves a valid\n"
            "checkpoint, and exits 4; --resume completes bit-identically");
   p.option("max-memory", "size", "0",
-           "peak-memory bound, e.g. 512m or 2g (0 = none). Exceeding it is\n"
+           "peak-memory bound, e.g. 512m or 1.5g (0 = none). Exceeding it is\n"
            "degraded gracefully — profile-merge trace budgets shrink (same\n"
            "output, checkpointed traceback) — never aborted");
   p.flag("stats", "print the per-stage pipeline report to stderr");
   p.flag("sp", "print the alignment's SP score to stderr");
   return p;
-}
-
-/// "512m", "2g", "4096k", "1048576" -> bytes. Suffixes k/m/g (case
-/// insensitive); a bare number is bytes.
-std::uint64_t parse_byte_size(const std::string& text) {
-  const auto bad = [&] {
-    return UsageError("--max-memory: expected <number>[k|m|g], got '" + text +
-                      "'");
-  };
-  // stoull accepts (and wraps) a leading '-'; insist on a digit.
-  if (text.empty() || text[0] < '0' || text[0] > '9') throw bad();
-  std::size_t pos = 0;
-  std::uint64_t value = 0;
-  try {
-    value = std::stoull(text, &pos);
-  } catch (const std::exception&) {
-    throw bad();
-  }
-  std::uint64_t scale = 1;
-  if (pos + 1 == text.size()) {
-    switch (text[pos]) {
-      case 'k': case 'K': scale = std::uint64_t{1} << 10; break;
-      case 'm': case 'M': scale = std::uint64_t{1} << 20; break;
-      case 'g': case 'G': scale = std::uint64_t{1} << 30; break;
-      default: throw bad();
-    }
-  } else if (pos != text.size()) {
-    throw bad();
-  }
-  if (value > ~std::uint64_t{0} / scale) throw bad();
-  return value * scale;
 }
 
 }  // namespace
@@ -136,8 +106,10 @@ int run_align(std::span<const std::string> args, std::ostream& out,
     } else {
       throw UsageError("--rank-mode must be 'globalized' or 'local'");
     }
-    cfg.budget.deadline_seconds = p.get_double("deadline", 0.0, 1e9);
-    cfg.budget.max_memory_bytes = parse_byte_size(p.get("max-memory"));
+    cfg.budget.deadline_seconds =
+        parse_duration_seconds(p.get("deadline"), "--deadline");
+    cfg.budget.max_memory_bytes =
+        parse_byte_size(p.get("max-memory"), "--max-memory");
 
     const std::vector<bio::Sequence> seqs = bio::read_fasta_file(p.get("in"));
     core::PipelineStats stats;

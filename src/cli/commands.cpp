@@ -10,6 +10,7 @@
 #include "msa/muscle_like.hpp"
 #include "msa/probcons_like.hpp"
 #include "msa/tcoffee_like.hpp"
+#include "serve/socket.hpp"
 #include "util/budget.hpp"
 
 namespace salign::cli {
@@ -28,6 +29,9 @@ int classify_error(const std::string& command, std::ostream& err) {
   } catch (const util::CancelledError& e) {
     report(e.what());
     return kExitDeadline;
+  } catch (const serve::ResourceError& e) {
+    report(e.what());
+    return kExitResource;
   } catch (const bio::InvalidInput& e) {
     report(e.what());
     return kExitInvalidInput;
@@ -97,6 +101,9 @@ int dispatch(std::span<const std::string> args, std::ostream& out,
           "  tree      build a guide/phylogenetic tree (Newick)\n"
           "  generate  emit synthetic benchmark workloads\n"
           "  stages    inspect an 'align --checkpoint-dir' directory\n"
+          "  serve     run the crash-tolerant alignment daemon\n"
+          "  submit    submit an alignment job to a serving daemon\n"
+          "  jobs      list (or cancel) a serving daemon's jobs\n"
           "  help      show this message\n\n"
           "run 'salign <command> --help' for per-command options.\n";
   };
@@ -113,6 +120,9 @@ int dispatch(std::span<const std::string> args, std::ostream& out,
   if (cmd == "tree") return run_tree(rest, out, err);
   if (cmd == "generate") return run_generate(rest, out, err);
   if (cmd == "stages") return run_stages(rest, out, err);
+  if (cmd == "serve") return run_serve(rest, out, err);
+  if (cmd == "submit") return run_submit(rest, out, err);
+  if (cmd == "jobs") return run_jobs(rest, out, err);
   err << "salign: unknown command '" << cmd << "'\n\n";
   print_help(err);
   return kExitUsage;

@@ -21,12 +21,18 @@ namespace salign::cli {
 ///   4  deadline exceeded or cancelled — the run stopped cooperatively at a
 ///      stage/chunk boundary; any --checkpoint-dir it was writing is valid
 ///      and `--resume` completes the alignment bit-identically
+///   5  resource/bind failure — a resource the command needs is unavailable
+///      or contested: the serve socket path is already being served, the
+///      journal directory cannot be created/written, a submit was shed by
+///      an overloaded daemon. The fix is operational, not a bug or bad
+///      input, so init systems and scripts can back off and retry
 enum ExitCode : int {
   kExitOk = 0,
   kExitRuntime = 1,
   kExitUsage = 2,
   kExitInvalidInput = 3,
   kExitDeadline = 4,
+  kExitResource = 5,
 };
 
 /// Maps the in-flight exception to the taxonomy above, printing
@@ -56,7 +62,12 @@ enum ExitCode : int {
 ///             balibase / sabmark) as FASTA (+ reference alignments);
 ///   stages    inspect a checkpoint directory written by
 ///             `align --checkpoint-dir` (manifest table, digest
-///             verification).
+///             verification);
+///   serve     run the crash-tolerant alignment daemon (admission control,
+///             durable job journal, kill -9 recovery — see
+///             docs/serve_protocol.md);
+///   submit    submit an alignment job to a serving daemon;
+///   jobs      list (or cancel) a serving daemon's jobs.
 int run_align(std::span<const std::string> args, std::ostream& out,
               std::ostream& err);
 int run_score(std::span<const std::string> args, std::ostream& out,
@@ -69,6 +80,12 @@ int run_generate(std::span<const std::string> args, std::ostream& out,
                  std::ostream& err);
 int run_stages(std::span<const std::string> args, std::ostream& out,
                std::ostream& err);
+int run_serve(std::span<const std::string> args, std::ostream& out,
+              std::ostream& err);
+int run_submit(std::span<const std::string> args, std::ostream& out,
+               std::ostream& err);
+int run_jobs(std::span<const std::string> args, std::ostream& out,
+             std::ostream& err);
 
 /// Top-level dispatch: args[0] is the command name. Prints the tool help
 /// on empty input, `help`, or an unknown command (the latter returns 2).

@@ -1,0 +1,35 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "serve/socket.hpp"
+#include "util/io.hpp"
+
+namespace salign::serve {
+
+Json request(const std::string& socket_path, const Json& req,
+             int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  // The connect retries inline rather than through retry_io: the useful
+  // horizon is the caller's timeout, not the disk-blip backoff schedule.
+  SocketStream stream;
+  for (;;) {
+    try {
+      stream = SocketStream::connect(socket_path);
+      break;
+    } catch (const util::IoError&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  stream.write_line(req.dump(), timeout_ms);
+  const auto line = stream.read_line(timeout_ms);
+  if (!line.has_value())
+    throw util::IoError("daemon closed the connection without answering",
+                        true);
+  return Json::parse(*line);
+}
+
+}  // namespace salign::serve

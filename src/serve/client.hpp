@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace salign::serve {
+
+/// One request/response round trip with a serving daemon: connects to
+/// `socket_path` (retrying the connect briefly — daemons take a moment to
+/// bind), sends `request` as one line, reads one response line.
+///
+/// Throws util::IoError when no daemon answers within `timeout_ms` or the
+/// connection drops mid-exchange, and WireError when the response is not
+/// valid JSON. Never interprets the response beyond parsing it — response
+/// codes ("overloaded", "not_found", ...) are the caller's business.
+[[nodiscard]] Json request(const std::string& socket_path, const Json& req,
+                           int timeout_ms = 5000);
+
+}  // namespace salign::serve

@@ -1,0 +1,221 @@
+#include "serve/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/fault_injection.hpp"
+
+namespace salign::serve {
+
+namespace {
+
+[[nodiscard]] std::string errno_text(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+/// Fills a sockaddr_un; rejects paths that don't fit sun_path (the classic
+/// silent-truncation trap — better a clear ResourceError than a daemon
+/// listening on a different path than the client dials).
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw ResourceError("socket path '" + path + "' is empty or longer than " +
+                        std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+int make_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ResourceError(errno_text("socket"));
+  return fd;
+}
+
+/// poll() one fd for readability/writability; false on timeout.
+bool wait_io(int fd, short events, int timeout_ms) {
+  pollfd p{fd, events, 0};
+  while (true) {
+    const int n = ::poll(&p, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(errno_text("poll"), true);
+    }
+    return n > 0;
+  }
+}
+
+}  // namespace
+
+// ---- SocketStream ----------------------------------------------------------
+
+SocketStream::~SocketStream() { close(); }
+
+SocketStream::SocketStream(SocketStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+SocketStream& SocketStream::operator=(SocketStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void SocketStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketStream SocketStream::connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  SocketStream s(make_socket());
+  if (::connect(s.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0)
+    // Transient: "connection refused"/"no such file" usually means the
+    // daemon is (re)starting — retry_io-style callers may ride it out.
+    throw util::IoError("connect " + path + ": " + std::strerror(errno), true);
+  return s;
+}
+
+std::optional<std::string> SocketStream::read_line(int timeout_ms,
+                                                   std::size_t max_bytes) {
+  util::FaultInjector::instance().maybe_fail("serve.read");
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    if (buffer_.size() > max_bytes)
+      throw util::IoError("read: line exceeds " + std::to_string(max_bytes) +
+                              " bytes",
+                          false);
+    if (!wait_io(fd_, POLLIN, timeout_ms))
+      throw util::IoError("read: timed out after " +
+                              std::to_string(timeout_ms) + "ms",
+                          true);
+    char chunk[4096];
+    const ::ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(errno_text("recv"), true);
+    }
+    if (n == 0) {
+      if (buffer_.empty()) return std::nullopt;  // clean EOF between lines
+      throw util::IoError("read: peer closed mid-line", true);
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void SocketStream::write_line(std::string_view line, int timeout_ms) {
+  util::FaultInjector::instance().maybe_fail("serve.write");
+  std::string framed(line);
+  framed.push_back('\n');
+  const char* p = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    if (!wait_io(fd_, POLLOUT, timeout_ms))
+      throw util::IoError("write: timed out after " +
+                              std::to_string(timeout_ms) + "ms",
+                          true);
+    // MSG_NOSIGNAL: a peer that vanished must surface as EPIPE, not kill
+    // the daemon with SIGPIPE.
+    const ::ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(errno_text("send"), true);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+// ---- SocketListener --------------------------------------------------------
+
+SocketListener::SocketListener(std::string path, int backlog)
+    : path_(std::move(path)) {
+  const sockaddr_un addr = make_addr(path_);
+  fd_ = make_socket();
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int bind_errno = errno;
+    if (bind_errno == EADDRINUSE) {
+      // A socket file exists. Probe it: a live daemon answers the connect
+      // (=> genuinely in use), a kill -9 leftover refuses it (=> stale,
+      // safe to unlink and rebind — the restart path of the crash drill).
+      bool live = false;
+      {
+        const int probe = make_socket();
+        live = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof addr) == 0;
+        ::close(probe);
+      }
+      if (!live) {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+        if (!ec && ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof addr) == 0) {
+          errno = 0;
+        } else {
+          ::close(fd_);
+          fd_ = -1;
+          throw ResourceError("bind " + path_ + ": stale socket could not " +
+                              "be reclaimed: " + std::strerror(errno));
+        }
+      } else {
+        ::close(fd_);
+        fd_ = -1;
+        throw ResourceError("bind " + path_ +
+                            ": address in use (another daemon is serving)");
+      }
+    } else {
+      ::close(fd_);
+      fd_ = -1;
+      throw ResourceError("bind " + path_ + ": " +
+                          std::strerror(bind_errno));
+    }
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const std::string what = errno_text("listen");
+    ::close(fd_);
+    fd_ = -1;
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    throw ResourceError(what);
+  }
+}
+
+SocketListener::~SocketListener() {
+  if (fd_ >= 0) ::close(fd_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+}
+
+std::optional<SocketStream> SocketListener::accept(int timeout_ms) {
+  if (!wait_io(fd_, POLLIN, timeout_ms)) return std::nullopt;
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    throw util::IoError(errno_text("accept"), true);
+  }
+  SocketStream stream(conn);
+  // Site fires after the kernel accept so a drilled fault drops a real
+  // connection (the client observes EOF) instead of spinning on poll().
+  util::FaultInjector::instance().maybe_fail("serve.accept");
+  return stream;
+}
+
+}  // namespace salign::serve

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/io.hpp"
+
+namespace salign::serve {
+
+/// A resource the daemon needs is unavailable or contested: the socket path
+/// is already being served, the address cannot be bound, the journal
+/// directory cannot be created or written. Mapped to its own CLI exit code
+/// (5) — distinct from generic runtime failure — because the fix is
+/// operational (free the port, pick another path, fix permissions), not a
+/// bug or bad input, and init systems restart-loop on it differently.
+class ResourceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One connected byte stream (a client connection or an accepted peer).
+/// Lines are the protocol frame: read_line()/write_line() move exactly one
+/// newline-terminated record. Both directions carry a timeout so a stalled
+/// peer can never hang the daemon's control plane, and both consult the
+/// fault injector ("serve.read" / "serve.write") so SALIGN_FAULTS can drill
+/// every socket failure path deterministically.
+class SocketStream {
+ public:
+  SocketStream() = default;
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream();
+  SocketStream(SocketStream&& other) noexcept;
+  SocketStream& operator=(SocketStream&& other) noexcept;
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  /// Connects to a listening Unix-domain socket. Throws IoError (transient)
+  /// when nothing is listening — clients may retry while a daemon starts.
+  [[nodiscard]] static SocketStream connect(const std::string& path);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Reads one '\n'-terminated line (the newline is stripped). Throws
+  /// IoError on timeout, EOF mid-line, oversized lines (> max_bytes) or
+  /// injected faults ("serve.read"). Returns nullopt on a clean EOF at a
+  /// line boundary (peer closed after its last record).
+  [[nodiscard]] std::optional<std::string> read_line(
+      int timeout_ms = 5000, std::size_t max_bytes = 1 << 20);
+
+  /// Writes `line` plus a newline, completely. Throws IoError on timeout or
+  /// peer disconnect, or injected faults ("serve.write"). Never raises
+  /// SIGPIPE.
+  void write_line(std::string_view line, int timeout_ms = 5000);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// Listening Unix-domain socket with stale-file recovery: binding a path
+/// whose previous daemon was killed (-9) succeeds by probing the socket —
+/// if nothing answers a connect, the stale file is unlinked and rebound; if
+/// something does, ResourceError ("already serving") is thrown. The socket
+/// file is unlinked again on clean destruction.
+class SocketListener {
+ public:
+  explicit SocketListener(std::string path, int backlog = 16);
+  ~SocketListener();
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// Waits up to timeout_ms for a connection. nullopt on timeout (poll the
+  /// stop flag and call again); an accepted stream otherwise. Injection
+  /// site "serve.accept" fires after the kernel accept — an armed fault
+  /// drops that connection (the peer sees EOF) and throws InjectedFault for
+  /// the caller to count and survive.
+  [[nodiscard]] std::optional<SocketStream> accept(int timeout_ms);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace salign::serve

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace salign::serve {
+
+/// A request/response line violated the wire protocol (malformed JSON,
+/// wrong type, missing field). Daemons answer it with a "bad_request"
+/// response; clients surface it as a runtime failure.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Minimal JSON value for the serve wire protocol (docs/serve_protocol.md).
+///
+/// Deliberately tiny rather than general: objects keep sorted keys (so
+/// dump() is deterministic — journal records are content-comparable and the
+/// protocol is easy to golden-test), numbers are doubles (integers are exact
+/// up to 2^53, which bounds every field the protocol carries and is stated
+/// in the wire-format doc), and parse() accepts exactly the constructs
+/// dump() emits plus insignificant whitespace.
+class Json {
+ public:
+  using Object = std::map<std::string, Json>;
+  using Array = std::vector<Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Object o) : value_(std::move(o)) {}
+  Json(Array a) : value_(std::move(a)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+
+  /// Typed accessors; throw WireError naming the expected type on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] const Array& as_array() const;
+
+  /// Object field lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Convenience typed field readers with defaults (absent => fallback;
+  /// present-but-wrong-type => WireError naming the key).
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool fallback = false) const;
+
+  /// Compact single-line serialization (no newline appended) — the unit the
+  /// newline-delimited protocol frames.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses one JSON value; trailing non-whitespace is an error. Throws
+  /// WireError with a byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array>
+      value_;
+};
+
+/// Protocol version stamped into every request and response ("v" field).
+/// Bumped only on incompatible changes; see docs/serve_protocol.md.
+inline constexpr int kWireVersion = 1;
+
+}  // namespace salign::serve

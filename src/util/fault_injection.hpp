@@ -41,7 +41,10 @@ class InjectedFault : public IoError {
 /// continues bit-identically.
 ///
 /// Sites wired in: checkpoint.write, checkpoint.read, manifest.store,
-/// manifest.load, cache.insert, cache.lookup, fasta.read, fasta.write.
+/// manifest.load, cache.insert, cache.lookup, fasta.read, fasta.write,
+/// and the serve daemon's serve.accept, serve.read, serve.write,
+/// serve.journal.write, serve.journal.read, serve.result.write
+/// (tests/serve_test.cpp drills each at 1 and 3 worker threads).
 ///
 /// Zero-cost when disarmed: maybe_fail() is one relaxed atomic load and a
 /// predicted-not-taken branch — no locks, no string hashing — so leaving

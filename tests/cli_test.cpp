@@ -573,10 +573,131 @@ TEST_F(CliTest, ExitCodeDeadlineIs4AndStatesResume) {
 TEST_F(CliTest, AlignBadMaxMemoryIsUsageError) {
   const std::string in = path("in.fasta");
   write_demo_fasta(in, 4);
-  for (const char* bad : {"12q", "m", "-1", "two"}) {
+  for (const char* bad : {"12q", "m", "-1", "two", "1.5"}) {
     const Result r = run(argv({"align", "--in", in, "--max-memory", bad}));
     EXPECT_EQ(r.status, kExitUsage) << bad;
   }
+}
+
+// ---- size / duration parsing ------------------------------------------------
+
+TEST(ParseByteSizeTest, IntegerForms) {
+  EXPECT_EQ(parse_byte_size("0", "--m"), 0u);
+  EXPECT_EQ(parse_byte_size("1048576", "--m"), 1048576u);
+  EXPECT_EQ(parse_byte_size("4096k", "--m"), 4096u << 10);
+  EXPECT_EQ(parse_byte_size("512m", "--m"), std::uint64_t{512} << 20);
+  EXPECT_EQ(parse_byte_size("2G", "--m"), std::uint64_t{2} << 30);
+}
+
+TEST(ParseByteSizeTest, FractionalFormsNeedAUnit) {
+  EXPECT_EQ(parse_byte_size("1.5g", "--m"),
+            (std::uint64_t{3} << 30) / 2);  // 1.5 GiB exactly
+  EXPECT_EQ(parse_byte_size("0.5m", "--m"), std::uint64_t{1} << 19);
+  EXPECT_EQ(parse_byte_size("2.25k", "--m"), 2304u);
+  // A fractional byte count has no unit to absorb the fraction.
+  EXPECT_THROW((void)parse_byte_size("1.5", "--m"), UsageError);
+}
+
+TEST(ParseByteSizeTest, RejectsGarbage) {
+  for (const char* bad :
+       {"", "-1", "+1", " 1", "12q", "m", "two", "1..5g", "1e3x", "nan",
+        "inf", "99999999999999999999g"}) {
+    EXPECT_THROW((void)parse_byte_size(bad, "--m"), UsageError) << bad;
+  }
+  // The flag name must appear in the diagnostic.
+  try {
+    (void)parse_byte_size("bogus", "--max-memory");
+    FAIL();
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("--max-memory"), std::string::npos);
+  }
+}
+
+TEST(ParseDurationTest, BareNumbersAreSeconds) {
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("0", "--d"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("90", "--d"), 90.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("2.5", "--d"), 2.5);
+}
+
+TEST(ParseDurationTest, SuffixesScale) {
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("250ms", "--d"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("2.5s", "--d"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("1.5m", "--d"), 90.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("2h", "--d"), 7200.0);
+}
+
+TEST(ParseDurationTest, RejectsGarbage) {
+  for (const char* bad : {"", "-1", "1.5x", "ms", "5 s", "1d", "nan"}) {
+    EXPECT_THROW((void)parse_duration_seconds(bad, "--d"), UsageError) << bad;
+  }
+}
+
+TEST_F(CliTest, AlignAcceptsFractionalDeadlineAndMemory) {
+  const std::string in = path("in.fasta");
+  write_demo_fasta(in, 6);
+  // "2.5s" and "1.5g" are generous enough that the tiny job completes.
+  const Result r = run(argv({"align", "--in", in, "--procs", "1",
+                             "--deadline", "30.5s", "--max-memory", "1.5g"}));
+  EXPECT_EQ(r.status, kExitOk) << r.err;
+  // "250ms" must parse as a quarter second — small enough to blow on a
+  // larger run, proving the unit actually scaled (a bare-number parse of
+  // "250" would pass trivially).
+  write_demo_fasta(in, 24);
+  const Result blown = run(argv({"align", "--in", in, "--procs", "2",
+                                 "--deadline", "0.001ms"}));
+  EXPECT_EQ(blown.status, kExitDeadline) << blown.err;
+}
+
+// ---- exit code 5: resource/bind failures ------------------------------------
+
+TEST_F(CliTest, ExitCodeResourceIs5WhenJournalDirUnwritable) {
+  // A file where the journal directory should be: create_directories fails.
+  const std::string blocked = path("blocked");
+  {
+    std::ofstream f(blocked);
+    f << "in the way\n";
+  }
+  const Result r = run(argv({"serve", "--socket", path("s.sock"),
+                             "--journal-dir", blocked + "/journal"}));
+  EXPECT_EQ(r.status, kExitResource) << r.err;
+  EXPECT_NE(r.err.find("journal"), std::string::npos);
+}
+
+TEST_F(CliTest, ExitCodeResourceIs5WhenSocketPathUnusable) {
+  // sun_path caps Unix socket paths at ~107 bytes; an over-long path is a
+  // bind failure, not a usage mistake.
+  const std::string longpath = path(std::string(200, 'x') + ".sock");
+  const Result r = run(argv({"serve", "--socket", longpath, "--journal-dir",
+                             path("journal")}));
+  EXPECT_EQ(r.status, kExitResource) << r.err;
+}
+
+// ---- stages --verify exit pin -----------------------------------------------
+
+TEST_F(CliTest, StagesVerifyExitsNonzeroOnCorruptArtifact) {
+  const std::string in = path("in.fasta");
+  const std::string ckpt = path("ckpt");
+  write_demo_fasta(in, 8);
+  const Result aln = run(argv({"align", "--in", in, "--procs", "2",
+                               "--checkpoint-dir", ckpt}));
+  ASSERT_EQ(aln.status, kExitOk) << aln.err;
+  ASSERT_EQ(run(argv({"stages", "--dir", ckpt, "--verify"})).status,
+            kExitOk);
+  // Flip bytes in one artifact: --verify must fail loudly with exit 1.
+  bool corrupted = false;
+  for (const auto& entry : fs::directory_iterator(ckpt)) {
+    if (entry.path().extension() != ".bin") continue;
+    std::fstream f(entry.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("XXXX", 4);
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted);
+  const Result bad = run(argv({"stages", "--dir", ckpt, "--verify"}));
+  EXPECT_EQ(bad.status, kExitRuntime);
+  EXPECT_NE(bad.out.find("FAIL"), std::string::npos) << bad.out;
 }
 
 }  // namespace
