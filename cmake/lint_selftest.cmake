@@ -1,0 +1,81 @@
+# salign_lint self-test: the checker must (a) pass on a pristine copy of
+# the tree and (b) fail with nonzero exit when a violation of each rule is
+# seeded into the copy. A linter that cannot fail is decoration; this test
+# is what keeps it honest.
+#
+# Inputs: -DSALIGN_LINT=<binary> -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# The linter reads src/, tests/, cmake/, README.md.
+file(COPY "${SOURCE_DIR}/src" "${SOURCE_DIR}/tests" "${SOURCE_DIR}/cmake"
+     DESTINATION "${WORK_DIR}")
+file(COPY "${SOURCE_DIR}/README.md" DESTINATION "${WORK_DIR}")
+
+function(run_lint expect_rc label)
+  execute_process(
+    COMMAND "${SALIGN_LINT}" "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(expect_rc STREQUAL "zero" AND NOT rc EQUAL 0)
+    message(FATAL_ERROR "lint self-test '${label}': expected clean, got rc=${rc}\n${out}\n${err}")
+  endif()
+  if(expect_rc STREQUAL "nonzero" AND rc EQUAL 0)
+    message(FATAL_ERROR "lint self-test '${label}': seeded violation was NOT detected (rc=0)")
+  endif()
+  if(expect_rc STREQUAL "nonzero" AND NOT rc EQUAL 1)
+    message(FATAL_ERROR "lint self-test '${label}': expected rc=1 (violations), got rc=${rc}\n${err}")
+  endif()
+  message(STATUS "lint self-test '${label}': ok (rc=${rc})")
+endfunction()
+
+# Pristine copy must be clean.
+run_lint(zero "pristine tree")
+
+set(victim "${WORK_DIR}/src/cli/cmd_score.cpp")
+file(READ "${victim}" pristine)
+
+# durable-io: a naked ofstream write.
+file(APPEND "${victim}"
+  "\nnamespace { void seeded_violation() { std::ofstream f(\"x\"); (void)f; } }\n")
+run_lint(nonzero "seeded durable-io")
+file(WRITE "${victim}" "${pristine}")
+
+# exit-code-taxonomy: a nonzero literal return in src/cli/.
+file(APPEND "${victim}"
+  "\nnamespace { int seeded_violation() { return 42; } }\n")
+run_lint(nonzero "seeded exit-code-taxonomy")
+file(WRITE "${victim}" "${pristine}")
+
+# fault-site-registry: a maybe_fail() site that exists nowhere else.
+file(APPEND "${victim}"
+  "\nnamespace { void seeded_violation() { salign::util::FaultInjector::instance().maybe_fail(\"seeded.unregistered.site\"); } }\n")
+run_lint(nonzero "seeded fault-site-registry")
+file(WRITE "${victim}" "${pristine}")
+
+# include-hygiene: std::mutex without #include <mutex> (cmd_score.cpp does
+# not include it).
+file(APPEND "${victim}"
+  "\nnamespace { void seeded_violation() { static std::mutex m; (void)m; } }\n")
+run_lint(nonzero "seeded include-hygiene")
+file(WRITE "${victim}" "${pristine}")
+
+# codec-coverage: a new write/read codec pair nobody tests.
+file(READ "${WORK_DIR}/src/core/stage/artifacts.hpp" artifacts)
+file(APPEND "${WORK_DIR}/src/core/stage/artifacts.hpp"
+  "\nnamespace salign::core::stage { void write_seeded_codec(par::ByteWriter&, int); int read_seeded_codec(par::ByteReader&); }\n")
+run_lint(nonzero "seeded codec-coverage")
+file(WRITE "${WORK_DIR}/src/core/stage/artifacts.hpp" "${artifacts}")
+
+# A suppressed violation must NOT fail: same durable-io seed with an inline
+# allow() carrying a reason.
+file(APPEND "${victim}"
+  "\nnamespace { void seeded_violation() { std::ofstream f(\"x\"); (void)f; } }  // salign-lint: allow(durable-io) -- self-test\n")
+run_lint(zero "suppressed durable-io")
+file(WRITE "${victim}" "${pristine}")
+
+# Final sanity: restored tree is clean again.
+run_lint(zero "restored tree")
+message(STATUS "lint self-test passed")

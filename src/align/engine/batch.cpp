@@ -1,6 +1,7 @@
 #include "align/engine/batch.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "align/engine/gotoh.hpp"

@@ -1,6 +1,6 @@
 #include <cstdint>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "bio/fasta.hpp"
@@ -10,6 +10,7 @@
 #include "msa/alignment.hpp"
 #include "msa/clustal_format.hpp"
 #include "msa/scoring.hpp"
+#include "util/io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace salign::cli {
@@ -129,9 +130,11 @@ int run_align(std::span<const std::string> args, std::ostream& out,
     if (p.get("out") == "-") {
       write_alignment_to(out);
     } else {
-      std::ofstream f(p.get("out"));
-      if (!f) throw std::runtime_error("cannot open " + p.get("out"));
-      write_alignment_to(f);
+      std::ostringstream text;
+      write_alignment_to(text);
+      util::retry_io("file.write", [&] {
+        util::write_text_file_durable(p.get("out"), text.str());
+      });
     }
     if (p.get_flag("stats")) err << stats.summary();
     if (p.get_flag("sp")) {

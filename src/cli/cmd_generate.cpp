@@ -1,10 +1,11 @@
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "bio/fasta.hpp"
 #include "cli/arg_parser.hpp"
 #include "cli/commands.hpp"
 #include "msa/alignment.hpp"
+#include "util/io.hpp"
 #include "workload/balibase.hpp"
 #include "workload/genome.hpp"
 #include "workload/prefab.hpp"
@@ -44,9 +45,11 @@ void write_case(const std::string& prefix, std::size_t index,
                 const msa::Alignment& reference) {
   const std::string base = prefix + std::to_string(index);
   bio::write_fasta_file(base + ".fasta", seqs);
-  std::ofstream ref(base + ".ref.afa");
-  if (!ref) throw std::runtime_error("cannot open " + base + ".ref.afa");
+  std::ostringstream ref;
   msa::write_aligned_fasta(ref, reference);
+  util::retry_io("file.write", [&] {
+    util::write_text_file_durable(base + ".ref.afa", ref.str());
+  });
 }
 
 }  // namespace

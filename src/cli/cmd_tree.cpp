@@ -1,6 +1,6 @@
-#include <fstream>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "align/distance.hpp"
@@ -10,6 +10,7 @@
 #include "cli/commands.hpp"
 #include "kmer/kmer_rank.hpp"
 #include "msa/guide_tree.hpp"
+#include "util/io.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -121,9 +122,9 @@ int run_tree(std::span<const std::string> args, std::ostream& out,
     if (out_path.empty()) {
       out << newick << "\n";
     } else {
-      std::ofstream f(out_path);
-      if (!f) throw std::runtime_error("cannot write " + out_path);
-      f << newick << "\n";
+      util::retry_io("file.write", [&] {
+        util::write_text_file_durable(out_path, newick + "\n");
+      });
       out << "wrote " << out_path << "\n";
     }
 

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 

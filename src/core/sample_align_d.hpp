@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "core/config.hpp"

@@ -1,5 +1,6 @@
 #include "msa/muscle_like.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 

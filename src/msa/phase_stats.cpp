@@ -1,5 +1,7 @@
 #include "msa/phase_stats.hpp"
 
+#include <mutex>
+
 namespace salign::msa {
 
 void AlignerPhaseStats::record(std::string_view name, double wall_seconds,

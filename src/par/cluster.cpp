@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <functional>
 #include <thread>
 #include <vector>
 

@@ -1,6 +1,9 @@
 #include "par/comm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace salign::par {

@@ -1,5 +1,7 @@
 #include "serve/daemon.hpp"
 
+#include <memory>
+#include <mutex>
 #include <unistd.h>
 
 #include <algorithm>

@@ -110,8 +110,8 @@ Journal::Journal(std::string dir) : dir_(std::move(dir)) {
                         " cannot be created: " + ec.message());
   // Probe writability now: a daemon that could accept jobs but never
   // journal them would shed every submit — fail startup with exit 5
-  // instead. (Plain filesystem write, deliberately not an injection site:
-  // SALIGN_FAULTS drills the per-record path, not daemon boot.)
+  // instead. Drillable as "serve.journal.probe"; deliberately un-retried
+  // (boot either works or it doesn't — there is no retry loop to hide in).
   const fs::path probe = fs::path(dir_) / "jobs" / ".probe.tmp";
   try {
     static constexpr std::uint8_t kMark[] = {'o', 'k', '\n'};
@@ -154,7 +154,9 @@ std::vector<JobRecord> Journal::replay(std::vector<std::string>* quarantined) {
       // Keep serving on a damaged journal: set the record aside (visible to
       // the operator, never silently deleted) and continue the replay.
       std::error_code ec;
-      fs::rename(file, fs::path(file.string() + ".corrupt"), ec);
+      // salign-lint: allow(durable-io) -- quarantine rename: best-effort
+      // set-aside of an already-corrupt record; durability adds nothing.
+      fs::rename(file, fs::path(file.string() + ".corrupt"), ec);  // salign-lint: allow(durable-io) -- see above
       if (quarantined != nullptr)
         quarantined->push_back(file.filename().string() + ": " + e.what());
     }

@@ -1,5 +1,7 @@
 #include "util/artifact_cache.hpp"
 
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "util/fault_injection.hpp"

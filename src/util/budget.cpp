@@ -1,6 +1,7 @@
 #include "util/budget.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace salign::util {
 

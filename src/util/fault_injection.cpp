@@ -1,6 +1,8 @@
 #include "util/fault_injection.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 #include "util/string_util.hpp"

@@ -42,9 +42,15 @@ class InjectedFault : public IoError {
 ///
 /// Sites wired in: checkpoint.write, checkpoint.read, manifest.store,
 /// manifest.load, cache.insert, cache.lookup, fasta.read, fasta.write,
-/// and the serve daemon's serve.accept, serve.read, serve.write,
-/// serve.journal.write, serve.journal.read, serve.result.write
+/// the durable-IO defaults file.write and file.read (util::io, the CLI
+/// --out path), and the serve daemon's serve.accept, serve.read,
+/// serve.write, serve.journal.write, serve.journal.read,
+/// serve.journal.probe (boot-time writability check), serve.result.write
 /// (tests/serve_test.cpp drills each at 1 and 3 worker threads).
+///
+/// tools/salign_lint keeps this list honest: every site literal compiled
+/// into src/ must appear here, in README.md, and in a tests/ or cmake/
+/// drill, or the lint_salign ctest fails.
 ///
 /// Zero-cost when disarmed: maybe_fail() is one relaxed atomic load and a
 /// predicted-not-taken branch — no locks, no string hashing — so leaving

@@ -71,6 +71,15 @@ void write_file_durable(const fs::path& target,
   fsync_path(dir, O_RDONLY | O_DIRECTORY);
 }
 
+void write_text_file_durable(const fs::path& target, std::string_view text,
+                             std::string_view site) {
+  write_file_durable(
+      target,
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size()),
+      site);
+}
+
 std::string read_file(const fs::path& path, std::string_view site) {
   FaultInjector::instance().maybe_fail(site);
   std::ifstream in(path, std::ios::binary);

@@ -74,6 +74,15 @@ void write_file_durable(const std::filesystem::path& target,
                         std::span<const std::uint8_t> bytes,
                         std::string_view site = "file.write");
 
+/// write_file_durable for text payloads — the CLI output path (`salign
+/// align --out`, `tree --out`, `generate` reference alignments). Same
+/// atomic tmp→fsync→rename→dir-fsync contract; exists so callers never
+/// reach for a naked std::ofstream (salign-lint's durable-io rule bans
+/// those in src/).
+void write_text_file_durable(const std::filesystem::path& target,
+                             std::string_view text,
+                             std::string_view site = "file.write");
+
 /// Reads a whole file. Throws IoError: non-transient when the file cannot
 /// be opened, transient on short/failed reads. Fault-injection site `site`
 /// (default "file.read") fires before the read.

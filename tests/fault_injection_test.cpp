@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bio/fasta.hpp"
 #include "cli/commands.hpp"
 #include "util/artifact_cache.hpp"
 #include "util/budget.hpp"
@@ -132,6 +133,59 @@ TEST_F(FaultInjectorTest, MalformedSpecsThrowAndArmNothing) {
   // An empty spec (e.g. SALIGN_FAULTS set but empty) arms nothing.
   EXPECT_NO_THROW(fi.arm(""));
   EXPECT_FALSE(fi.enabled());
+}
+
+TEST_F(FaultInjectorTest, DefaultDurableFileSitesAreDrillable) {
+  // "file.write" / "file.read" are the default sites of
+  // util::write_file_durable / util::read_file — the contract CLI --out
+  // paths rely on. A transient write blip is absorbed by retry_io, a hard
+  // fault propagates, and a hard read fault fires before any bytes move.
+  auto& fi = FaultInjector::instance();
+  const fs::path p =
+      fs::temp_directory_path() /
+      ("salign_file_site_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fi.arm("file.write:0");  // one transient failure, then clean
+  util::retry_io("file.write",
+                 [&] { util::write_text_file_durable(p, "payload\n"); });
+  EXPECT_EQ(fi.stats("file.write").failures, 1u);
+  fi.disarm();
+
+  fi.arm("file.read:0:*!");
+  EXPECT_THROW((void)util::read_file(p), InjectedFault);
+  fi.disarm();
+  EXPECT_EQ(util::read_file(p), "payload\n");
+
+  fi.arm("file.write:0:*!");
+  EXPECT_THROW(util::write_text_file_durable(p, "clobber"), InjectedFault);
+  fi.disarm();
+  // The hard fault fired before the tmp file was opened: old bytes survive.
+  EXPECT_EQ(util::read_file(p), "payload\n");
+  std::error_code ec;
+  fs::remove(p, ec);
+}
+
+TEST_F(FaultInjectorTest, FastaWriteFaultsFollowTheRetryContract) {
+  auto& fi = FaultInjector::instance();
+  const fs::path p =
+      fs::temp_directory_path() /
+      ("salign_fasta_site_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+       ".fa");
+  const std::vector<bio::Sequence> seqs{bio::Sequence("s0", "ACDEF")};
+  fi.arm("fasta.write:0");  // transient: the write_fasta_file retry absorbs it
+  bio::write_fasta_file(p.string(), seqs);
+  EXPECT_EQ(fi.stats("fasta.write").failures, 1u);
+  fi.disarm();
+  const auto back = bio::read_fasta_file(p.string());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].text(), "ACDEF");
+
+  fi.arm("fasta.write:0:*!");  // hard: retries exhausted, IoError escapes
+  EXPECT_THROW(bio::write_fasta_file(p.string(), seqs), IoError);
+  fi.disarm();
+  std::error_code ec;
+  fs::remove(p, ec);
 }
 
 TEST_F(FaultInjectorTest, UnarmedSitesAreCountedWhileEnabled) {
@@ -360,6 +414,26 @@ TEST_F(FaultMatrixTest, EverySiteRecoversToByteIdenticalOutput) {
                                    << " fault diverged";
     }
   }
+}
+
+TEST_F(FaultMatrixTest, CliOutputWriteFaultsExitRuntimeOrAreRetried) {
+  // `align --out` lands on the durable file.write site. Hard faults must
+  // fail the command with the runtime exit code and leave no torn output;
+  // a single transient fault must be invisible to the caller.
+  auto& fi = FaultInjector::instance();
+  fi.arm("file.write:0:*!");
+  const CliResult hard = run_cli({"align", "--in", input_, "--procs", "2",
+                                  "--out", path("out.afa")});
+  fi.disarm();
+  ASSERT_EQ(hard.status, cli::kExitRuntime) << hard.err;
+  EXPECT_FALSE(fs::exists(path("out.afa")));
+
+  fi.arm("file.write:0");
+  const CliResult soft = run_cli({"align", "--in", input_, "--procs", "2",
+                                  "--out", path("out.afa")});
+  fi.disarm();
+  ASSERT_EQ(soft.status, 0) << soft.err;
+  EXPECT_TRUE(fs::exists(path("out.afa")));
 }
 
 TEST_F(FaultMatrixTest, MidRunWriteFaultLeavesResumablePrefix) {

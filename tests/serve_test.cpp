@@ -78,6 +78,42 @@ TEST(WireJsonTest, DepthGuardStopsRecursion) {
   EXPECT_THROW((void)Json::parse(deep), WireError);
 }
 
+TEST(WireJsonTest, JobSpecJsonRoundTrip) {
+  JobSpec spec;
+  spec.input = "/data/in.fasta";
+  spec.output = "/data/out.afa";
+  spec.format = "clustal";
+  spec.aligner = "muscle";
+  spec.procs = 8;
+  spec.threads = 3;
+  spec.deadline_seconds = 2.5;
+  spec.max_memory = 512ULL << 20;
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.to_json().dump(), spec.to_json().dump());
+  // The required keys are enforced, not defaulted away.
+  EXPECT_THROW((void)JobSpec::from_json(Json::parse("{}")), WireError);
+}
+
+TEST(WireJsonTest, JobRecordJsonRoundTrip) {
+  JobRecord rec;
+  rec.id = "j000042";
+  rec.seq = 42;
+  rec.state = JobState::kFailed;
+  rec.spec.input = "/data/in.fasta";
+  rec.spec.output = "/data/out.afa";
+  rec.attempts = 2;
+  rec.exit_code = 1;
+  rec.error = "injected";
+  rec.submitted_ms = 1234567890123ULL;
+  rec.updated_ms = 1234567890456ULL;
+  const JobRecord back = JobRecord::from_json(rec.to_json());
+  EXPECT_EQ(back.to_json().dump(), rec.to_json().dump());
+  // Malformed records throw WireError (the replay path quarantines them).
+  EXPECT_THROW((void)JobRecord::from_json(Json::parse("{}")), WireError);
+  EXPECT_THROW((void)JobRecord::from_json(Json::parse(R"({"id":7})")),
+               WireError);
+}
+
 TEST(WireJsonTest, TypedAccessorsNameTheKey) {
   const Json j = Json::parse(R"({"n":"not a number"})");
   try {
@@ -294,6 +330,19 @@ TEST_F(ServeTest, JournalUnusableDirIsResourceError) {
 }
 
 // ---- daemon core ------------------------------------------------------------
+
+TEST_F(ServeTest, JournalProbeFaultFailsStartupAsResourceError) {
+  // The writability probe at journal construction is a drillable site:
+  // a hard fault there must surface as the startup ResourceError (exit 5)
+  // instead of a daemon that accepts jobs it can never journal.
+  auto& fi = util::FaultInjector::instance();
+  fi.arm("serve.journal.probe:0:*!");
+  EXPECT_THROW(Journal(path("journal_probe")), ResourceError);
+  fi.disarm();
+  // The probe deliberately does not retry (boot is not a retry loop); with
+  // the injector disarmed, construction must come up clean.
+  EXPECT_NO_THROW(Journal(path("journal_probe")));
+}
 
 TEST_F(ServeTest, SubmitRunsJobByteIdenticalToDirectRun) {
   const std::string in = path("in.fasta");

@@ -158,6 +158,16 @@ TEST(StageArtifacts, RankedPartitionRoundTrip) {
             parts);
 }
 
+TEST(StageArtifacts, IndicesRoundTrip) {
+  const std::vector<std::uint64_t> v{0, 1, 42, ~std::uint64_t{0}};
+  EXPECT_EQ(
+      round_trip(v, core::stage::write_indices, core::stage::read_indices),
+      v);
+  EXPECT_EQ(round_trip(std::vector<std::uint64_t>{},
+                       core::stage::write_indices, core::stage::read_indices),
+            std::vector<std::uint64_t>{});
+}
+
 TEST(StageArtifacts, IndexAndDoubleRoundTrips) {
   const std::vector<std::vector<std::uint64_t>> lists{{1, 2, 3}, {}, {9}};
   EXPECT_EQ(round_trip(lists, core::stage::write_index_lists,
